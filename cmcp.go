@@ -1,0 +1,261 @@
+// Package cmcp is a deterministic many-core virtual-memory simulator
+// reproducing "CMCP: A Novel Page Replacement Policy for System Level
+// Hierarchical Memory Management on Many-cores" (Gerofi et al.,
+// HPDC 2014).
+//
+// The simulated machine is a Knights Corner-like co-processor: up to 60
+// cores with per-core multi-size-class TLBs, a small on-board device
+// memory backed by host RAM over a PCIe-like link, and an OS-level
+// paging subsystem that moves 4 kB / 64 kB / 2 MB pages between the two
+// transparently. Two page-table organizations are available — regular
+// shared tables and per-core Partially Separated Page Tables (PSPT) —
+// and six replacement policies: FIFO, a Linux-style LRU approximation,
+// the paper's CMCP, CLOCK, LFU and Random.
+//
+// # Quick start
+//
+//	res, err := cmcp.Simulate(cmcp.Config{
+//	    Cores:       56,
+//	    Workload:    cmcp.SCALE(),
+//	    MemoryRatio: 0.5,                       // device holds half the footprint
+//	    Tables:      cmcp.PSPT,
+//	    Policy:      cmcp.PolicySpec{Kind: cmcp.CMCP, P: 0.875},
+//	})
+//
+// Results carry the paper's Table 1 counters (page faults, remote TLB
+// invalidations, dTLB misses, and more) per core plus the simulated
+// runtime in cycles. The experiments subcommands of cmd/cmcpsim
+// regenerate every figure and table of the paper's evaluation.
+//
+// Everything is deterministic: the same Config yields bit-identical
+// results on any platform.
+package cmcp
+
+import (
+	"cmcp/internal/core"
+	"cmcp/internal/experiments"
+	"cmcp/internal/machine"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/tlb"
+	"cmcp/internal/trace"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one simulation run; see Simulate.
+	Config = machine.Config
+	// Result is a completed run's measurements.
+	Result = machine.Result
+	// PolicySpec selects and parameterizes the replacement policy.
+	PolicySpec = machine.PolicySpec
+	// PolicyKind names a built-in replacement policy.
+	PolicyKind = machine.PolicyKind
+	// TableKind selects the page-table organization.
+	TableKind = vm.TableKind
+	// PageSize is a mapping granularity (4 kB, 64 kB or 2 MB).
+	PageSize = sim.PageSize
+	// Cycles is simulated time in 1.053 GHz CPU cycles.
+	Cycles = sim.Cycles
+	// CoreID identifies a simulated CPU core.
+	CoreID = sim.CoreID
+	// PageID is a virtual page number in 4 kB units.
+	PageID = sim.PageID
+	// CostModel is the cycle-cost calibration; see DefaultCostModel.
+	CostModel = sim.CostModel
+	// TLBConfig is the per-core TLB geometry.
+	TLBConfig = tlb.Config
+	// Run is the per-core counter record of a simulation.
+	Run = stats.Run
+	// Counter identifies one per-core event counter in a Run.
+	Counter = stats.Counter
+	// Workload is the parametric description of an application.
+	Workload = workload.Spec
+	// ShareBand declares a page-sharing band of a Workload.
+	ShareBand = workload.ShareBand
+	// Policy is the replacement policy interface for custom policies
+	// (install one via PolicySpec.Factory).
+	Policy = policy.Policy
+	// PolicyHost is the kernel-side interface handed to policies.
+	PolicyHost = policy.Host
+	// PolicyFactory builds a policy against the kernel's PolicyHost.
+	PolicyFactory = vm.PolicyFactory
+)
+
+// Replacement policies.
+const (
+	// FIFO is the first-in first-out baseline.
+	FIFO = machine.FIFO
+	// LRU is the Linux-style active/inactive approximation whose
+	// access-bit scanning generates the remote TLB invalidations the
+	// paper measures.
+	LRU = machine.LRU
+	// CMCP is the paper's Core-Map Count based Priority policy.
+	CMCP = machine.CMCP
+	// CLOCK is the second-chance algorithm.
+	CLOCK = machine.CLOCK
+	// LFU is a sampled least-frequently-used approximation.
+	LFU = machine.LFU
+	// Random evicts uniformly at random (sanity baseline).
+	Random = machine.Random
+)
+
+// Page-table organizations.
+const (
+	// RegularPT shares one set of page tables among all cores; TLB
+	// shootdowns must broadcast and faults serialize on one lock.
+	RegularPT = vm.RegularPT
+	// PSPT gives each core a private table for the computation area:
+	// precise shootdowns, per-page locks, free core-map counts.
+	PSPT = vm.PSPTKind
+)
+
+// Mapping granularities of the simulated Xeon Phi MMU.
+const (
+	// Size4k is the base 4 kB page.
+	Size4k = sim.Size4k
+	// Size64k is the Phi's experimental 64 kB PTE-group page.
+	Size64k = sim.Size64k
+	// Size2M is the 2 MB large page.
+	Size2M = sim.Size2M
+)
+
+// Per-core counters most users read from a Run (the full set lives in
+// internal/stats; these are the ones Table 1 of the paper reports).
+const (
+	// PageFaults counts major faults (page-ins from the host).
+	PageFaults = stats.PageFaults
+	// MinorFaults counts PSPT sibling-PTE copies.
+	MinorFaults = stats.MinorFaults
+	// RemoteTLBInvalidations counts invalidation requests received.
+	RemoteTLBInvalidations = stats.RemoteTLBInvalidations
+	// DTLBMisses counts first-level data TLB misses.
+	DTLBMisses = stats.DTLBMisses
+	// Evictions counts victim pages swapped out.
+	Evictions = stats.Evictions
+	// BytesIn counts host-to-device transfer volume.
+	BytesIn = stats.BytesIn
+	// BytesOut counts device-to-host write-back volume.
+	BytesOut = stats.BytesOut
+	// Touches counts simulated page touches executed.
+	Touches = stats.Touches
+)
+
+// Simulate executes one deterministic run to completion.
+func Simulate(cfg Config) (*Result, error) { return machine.Simulate(cfg) }
+
+// RunMany executes independent runs concurrently (parallelism <= 0
+// means GOMAXPROCS), preserving input order.
+func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
+	return machine.RunMany(cfgs, parallelism)
+}
+
+// DefaultCostModel returns the calibrated Knights Corner cycle costs.
+func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
+
+// KNLCostModel returns a Knights Landing-like model: on-package near
+// memory instead of PCIe (the paper's §7 outlook). CPU-side costs are
+// unchanged, so the shootdown economics — and CMCP's advantage —
+// carry over.
+func KNLCostModel() CostModel { return sim.KNLCostModel() }
+
+// DefaultTLBConfig returns the KNC-like TLB geometry.
+func DefaultTLBConfig() TLBConfig { return tlb.DefaultConfig() }
+
+// BT returns the NAS Block Tridiagonal workload model (B-class
+// footprint; use Workload.Scale to shrink or grow it).
+func BT() Workload { return workload.BT() }
+
+// LU returns the NAS Lower-Upper Gauss-Seidel workload model.
+func LU() Workload { return workload.LU() }
+
+// CG returns the NAS Conjugate Gradient workload model.
+func CG() Workload { return workload.CG() }
+
+// SCALE returns the RIKEN climate-stencil workload model.
+func SCALE() Workload { return workload.SCALE() }
+
+// Workloads returns the paper's four applications in evaluation order.
+func Workloads() []Workload { return workload.Apps() }
+
+// WorkloadByName resolves "bt.B", "lu.B", "cg.B" or "SCALE".
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// NewCMCPPolicy builds a standalone CMCP policy instance for library
+// embedding (outside the simulator): host supplies core-map counts,
+// capacity is the resident-mapping capacity, p the prioritized ratio.
+func NewCMCPPolicy(host PolicyHost, capacity int, p float64) Policy {
+	return core.New(host, capacity, core.WithP(p))
+}
+
+// NewFIFOPolicy builds a standalone FIFO policy instance.
+func NewFIFOPolicy() Policy { return policy.NewFIFO() }
+
+// NewLRUPolicy builds a standalone Linux-style LRU instance.
+func NewLRUPolicy(host PolicyHost) Policy { return policy.NewLRU(host) }
+
+// Offline trace analysis (record a workload's access stream, replay it,
+// and compare online policies against Belady's clairvoyant optimum).
+type (
+	// Trace is a recorded page-access stream.
+	Trace = trace.Trace
+	// TraceRecord is one access of a Trace.
+	TraceRecord = trace.Record
+	// OPTResult summarizes a Belady/MIN analysis.
+	OPTResult = trace.OPTResult
+	// CountingPolicy is the policy slice offline fault counting needs;
+	// every Policy satisfies it.
+	CountingPolicy = trace.CountingPolicy
+)
+
+// CaptureTrace records the deterministic access trace of a workload at
+// the given core count and seed.
+func CaptureTrace(wl Workload, cores int, seed uint64) (*Trace, error) {
+	layout, err := wl.Build(cores)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Capture(layout, seed), nil
+}
+
+// OPTFaults computes Belady's optimal fault count for a trace at the
+// given mapping capacity and page size — the lower bound no online
+// policy can beat.
+func OPTFaults(t *Trace, capacity int, size PageSize) (OPTResult, error) {
+	return trace.OPT(t, capacity, size)
+}
+
+// CountPolicyFaults replays a trace through an online policy and
+// returns its fault count (costs and TLBs ignored; comparable with
+// OPTFaults).
+func CountPolicyFaults(t *Trace, capacity int, size PageSize, pol CountingPolicy) (uint64, error) {
+	return trace.CountFaults(t, capacity, size, pol)
+}
+
+// NewTrueLRUPolicy returns an exact-LRU counting policy for offline
+// replay (perfect reference information — unattainable online).
+func NewTrueLRUPolicy() CountingPolicy { return trace.NewTrueLRU() }
+
+// ExperimentOptions control the paper-reproduction harness.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is one regenerated table/figure.
+type ExperimentReport = experiments.Report
+
+// RunExperiment regenerates one of the paper's results: "fig6", "fig7",
+// "fig8", "fig9", "fig10" or "table1".
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.ByID(id, o)
+}
+
+// RunAllExperiments regenerates every table and figure in paper order.
+func RunAllExperiments(o ExperimentOptions) ([]*ExperimentReport, error) {
+	return experiments.All(o)
+}
+
+// Constraint returns the per-workload memory ratio used by the Fig. 7 /
+// Table 1 experiments (the paper's 50-60 %-of-native methodology).
+func Constraint(workloadName string) float64 { return experiments.Constraint(workloadName) }

@@ -1,0 +1,191 @@
+// Command cmcpsim drives the CMCP many-core paging simulator.
+//
+// Reproduce the paper's evaluation (figures and table):
+//
+//	cmcpsim -exp all                 # everything, full scale
+//	cmcpsim -exp fig7 -scale 0.25    # one experiment, smaller/faster
+//	cmcpsim -exp table1 -csv         # machine-readable output
+//
+// Run a single simulation:
+//
+//	cmcpsim -run -workload cg.B -cores 56 -ratio 0.4 -policy CMCP -p 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cmcp"
+	"cmcp/internal/plot"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment to regenerate: fig6|fig7|fig8|fig9|fig10|table1|sense|all")
+		quick    = flag.Bool("quick", false, "shrink sweeps (fewer core counts and ratio points)")
+		scale    = flag.Float64("scale", 1.0, "workload footprint/work multiplier")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plotFlag = flag.Bool("plot", false, "render numeric tables as ASCII charts too")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 1, "replicate each run under N seeds and average")
+
+		run      = flag.Bool("run", false, "run a single simulation instead of an experiment")
+		wlName   = flag.String("workload", "SCALE", "workload: bt.B|lu.B|cg.B|SCALE")
+		cores    = flag.Int("cores", 56, "application cores")
+		ratio    = flag.Float64("ratio", 0.5, "device memory as a fraction of the footprint")
+		polName  = flag.String("policy", "CMCP", "policy: FIFO|LRU|CMCP|CLOCK|LFU|Random")
+		p        = flag.Float64("p", -1, "CMCP prioritized-pages ratio (-1 = default)")
+		dynamicP = flag.Bool("dynamic-p", false, "enable CMCP's fault-feedback p tuner")
+		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
+		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
+	)
+	flag.Parse()
+
+	switch {
+	case *run:
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	case *exp != "":
+		if err := runExperiments(*exp, cmcp.ExperimentOptions{
+			Scale:       *scale,
+			Quick:       *quick,
+			Seed:        *seed,
+			Parallelism: *parallel,
+			Repeats:     *repeats,
+		}, *csv, *plotFlag); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmcpsim:", err)
+	os.Exit(1)
+}
+
+func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) error {
+	ids := []string{id}
+	if id == "all" {
+		ids = []string{"fig6", "fig8", "fig7", "table1", "fig9", "fig10", "sense"}
+	}
+	for _, one := range ids {
+		start := time.Now()
+		rep, err := cmcp.RunExperiment(one, o)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.String())
+			if plotCharts {
+				for _, tab := range rep.Tables {
+					if chart := plot.FromTable(tab, 56, 14); chart != "" {
+						fmt.Println(chart)
+					}
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", one, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64) error {
+	wl, ok := cmcp.WorkloadByName(wlName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", wlName)
+	}
+	if scale != 1.0 {
+		wl = wl.Scale(scale)
+	}
+	kind, err := parsePolicy(polName)
+	if err != nil {
+		return err
+	}
+	tk := cmcp.PSPT
+	if strings.EqualFold(tables, "regular") {
+		tk = cmcp.RegularPT
+	} else if !strings.EqualFold(tables, "pspt") {
+		return fmt.Errorf("unknown tables %q", tables)
+	}
+	adaptive := strings.EqualFold(pageSize, "adaptive")
+	var size cmcp.PageSize
+	if !adaptive {
+		size, err = parsePageSize(pageSize)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := cmcp.Simulate(cmcp.Config{
+		Cores:            cores,
+		Workload:         wl,
+		MemoryRatio:      ratio,
+		PageSize:         size,
+		AdaptivePageSize: adaptive,
+		Tables:           tk,
+		Policy:           cmcp.PolicySpec{Kind: kind, P: p, DynamicP: dynamicP},
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	r := res.Run
+	sizeLabel := size.String()
+	if adaptive {
+		sizeLabel = "adaptive"
+	}
+	fmt.Printf("workload      %s (%d pages, %d frames, %s, %v)\n",
+		wl.Name, res.TotalPages, res.Frames, sizeLabel, tk)
+	fmt.Printf("policy        %s\n", res.PolicyName)
+	fmt.Printf("runtime       %.2f Mcycles (%.2f ms at 1.053 GHz)\n",
+		float64(res.Runtime)/1e6, float64(res.Runtime)/1.053e6)
+	fmt.Printf("page faults   %.0f per core\n", r.PerCoreAvg(cmcp.PageFaults))
+	fmt.Printf("minor faults  %.0f per core\n", r.PerCoreAvg(cmcp.MinorFaults))
+	fmt.Printf("remote invals %.0f per core\n", r.PerCoreAvg(cmcp.RemoteTLBInvalidations))
+	fmt.Printf("dTLB misses   %.0f per core\n", r.PerCoreAvg(cmcp.DTLBMisses))
+	fmt.Printf("evictions     %.0f per core\n", r.PerCoreAvg(cmcp.Evictions))
+	fmt.Printf("data moved    %.1f MB in, %.1f MB out\n",
+		float64(r.Total(cmcp.BytesIn))/1e6, float64(r.Total(cmcp.BytesOut))/1e6)
+	if res.Sharing != nil {
+		fmt.Printf("sharing       %v (pages by core-map count 0..n)\n", res.Sharing[:min(9, len(res.Sharing))])
+	}
+	return nil
+}
+
+func parsePolicy(name string) (cmcp.PolicyKind, error) {
+	for _, k := range []cmcp.PolicyKind{cmcp.FIFO, cmcp.LRU, cmcp.CMCP, cmcp.CLOCK, cmcp.LFU, cmcp.Random} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
+}
+
+func parsePageSize(s string) (cmcp.PageSize, error) {
+	switch strings.ToLower(s) {
+	case "4k", "4kb":
+		return cmcp.Size4k, nil
+	case "64k", "64kb":
+		return cmcp.Size64k, nil
+	case "2m", "2mb":
+		return cmcp.Size2M, nil
+	default:
+		return 0, fmt.Errorf("unknown page size %q", s)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

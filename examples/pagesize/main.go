@@ -1,0 +1,68 @@
+// Pagesize explores the Xeon Phi's three mapping granularities — 4 kB,
+// the experimental 64 kB PTE-group pages, and 2 MB — under growing
+// memory constraint (the paper's Figure 10 question): large pages cut
+// TLB misses but move more data per fault and widen sharing, so the
+// best size depends on how memory-constrained the system is.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmcp"
+)
+
+func main() {
+	spec := cmcp.BT().Scale(0.5)
+	sizes := []cmcp.PageSize{cmcp.Size4k, cmcp.Size64k, cmcp.Size2M}
+	ratios := []float64{1.0, 0.98, 0.95, 0.9, 0.8, 0.6, 0.4}
+
+	var cfgs []cmcp.Config
+	for _, size := range sizes {
+		for _, r := range ratios {
+			cfgs = append(cfgs, cmcp.Config{
+				Cores:       56,
+				Workload:    spec,
+				MemoryRatio: r,
+				PageSize:    size,
+				Tables:      cmcp.PSPT,
+				Policy:      cmcp.PolicySpec{Kind: cmcp.FIFO},
+				Seed:        11,
+			})
+		}
+	}
+	results, err := cmcp.RunMany(cfgs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := float64(results[0].Runtime) // 4 kB, full memory
+	fmt.Printf("%s relative performance by page size (FIFO, 56 cores)\n\n", spec.Name)
+	fmt.Printf("%-8s", "memory")
+	for _, size := range sizes {
+		fmt.Printf("%8s", size)
+	}
+	fmt.Println()
+	for ri, r := range ratios {
+		fmt.Printf("%6.0f%% ", r*100)
+		best, bestV := 0, 0.0
+		row := make([]float64, len(sizes))
+		for si := range sizes {
+			v := base / float64(results[si*len(ratios)+ri].Runtime)
+			row[si] = v
+			if v > bestV {
+				best, bestV = si, v
+			}
+		}
+		for si, v := range row {
+			mark := " "
+			if si == best {
+				mark = "*"
+			}
+			fmt.Printf("%7.2f%s", v, mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(*) best size at that constraint — watch the winner move from")
+	fmt.Println("large to small pages as memory tightens.")
+}

@@ -1,0 +1,59 @@
+// Policycompare sweeps every replacement policy across the paper's
+// four workloads under their Figure 7 memory constraints and prints a
+// runtime/faults/invalidations comparison — a condensed Table 1 + Fig 7.
+//
+// The expected ordering on every workload is the paper's headline:
+// CMCP fastest, FIFO next, the access-bit scanners (LRU/CLOCK/LFU)
+// behind despite fewer faults, Random worst-or-thereabouts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmcp"
+)
+
+func main() {
+	const cores = 56
+	policies := []cmcp.PolicySpec{
+		{Kind: cmcp.CMCP, P: -1},
+		{Kind: cmcp.FIFO},
+		{Kind: cmcp.LRU},
+		{Kind: cmcp.CLOCK},
+		{Kind: cmcp.LFU},
+		{Kind: cmcp.Random},
+	}
+
+	for _, wl := range cmcp.Workloads() {
+		spec := wl.Scale(0.2) // keep the demo quick
+		var cfgs []cmcp.Config
+		for _, pol := range policies {
+			cfgs = append(cfgs, cmcp.Config{
+				Cores:       cores,
+				Workload:    spec,
+				MemoryRatio: cmcp.Constraint(spec.Name),
+				Tables:      cmcp.PSPT,
+				Policy:      pol,
+				Seed:        7,
+			})
+		}
+		results, err := cmcp.RunMany(cfgs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n%s  (%d cores, %.0f%% memory)\n", spec.Name, cores,
+			100*cmcp.Constraint(spec.Name))
+		fmt.Printf("  %-7s %12s %14s %16s\n", "policy", "Mcycles", "faults/core", "rem.invals/core")
+		base := results[1].Runtime // FIFO
+		for _, res := range results {
+			fmt.Printf("  %-7s %12.1f %14.0f %16.0f   (%+.1f%% vs FIFO)\n",
+				res.PolicyName,
+				float64(res.Runtime)/1e6,
+				res.Run.PerCoreAvg(cmcp.PageFaults),
+				res.Run.PerCoreAvg(cmcp.RemoteTLBInvalidations),
+				100*(float64(base)/float64(res.Runtime)-1))
+		}
+	}
+}

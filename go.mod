@@ -1,0 +1,3 @@
+module cmcp
+
+go 1.22

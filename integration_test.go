@@ -1,0 +1,144 @@
+package cmcp_test
+
+import (
+	"testing"
+
+	"cmcp"
+)
+
+// TestPaperHeadlineOrdering verifies the paper's central result
+// end-to-end at a moderate scale: for every workload under its Fig. 7
+// memory constraint, CMCP (at the per-workload p) outperforms FIFO, and
+// FIFO outperforms the scanning LRU approximation.
+func TestPaperHeadlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const cores = 24
+	ps := map[string]float64{"bt.B": 0.5, "lu.B": 0.625, "cg.B": 0.25, "SCALE": 0.875}
+	for _, wl := range cmcp.Workloads() {
+		spec := wl.Scale(0.08)
+		mk := func(pol cmcp.PolicySpec) cmcp.Config {
+			return cmcp.Config{
+				Cores:       cores,
+				Workload:    spec,
+				MemoryRatio: cmcp.Constraint(spec.Name),
+				Tables:      cmcp.PSPT,
+				Policy:      pol,
+				Seed:        11,
+				Verify:      true,
+			}
+		}
+		results, err := cmcp.RunMany([]cmcp.Config{
+			mk(cmcp.PolicySpec{Kind: cmcp.CMCP, P: ps[spec.Name]}),
+			mk(cmcp.PolicySpec{Kind: cmcp.FIFO}),
+			mk(cmcp.PolicySpec{Kind: cmcp.LRU}),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, fifo, lru := results[0], results[1], results[2]
+		if cm.Runtime >= fifo.Runtime {
+			t.Errorf("%s: CMCP (%d) must beat FIFO (%d)", spec.Name, cm.Runtime, fifo.Runtime)
+		}
+		if lru.Runtime <= fifo.Runtime {
+			t.Errorf("%s: LRU (%d) must lose to FIFO (%d)", spec.Name, lru.Runtime, fifo.Runtime)
+		}
+		// Table 1 relationships.
+		if lru.Run.Total(cmcp.PageFaults) >= fifo.Run.Total(cmcp.PageFaults) {
+			t.Errorf("%s: LRU faults must be below FIFO's", spec.Name)
+		}
+		if lru.Run.Total(cmcp.RemoteTLBInvalidations) <= fifo.Run.Total(cmcp.RemoteTLBInvalidations) {
+			t.Errorf("%s: LRU remote invalidations must exceed FIFO's", spec.Name)
+		}
+		if cm.Run.Total(cmcp.RemoteTLBInvalidations) >= fifo.Run.Total(cmcp.RemoteTLBInvalidations) {
+			t.Errorf("%s: CMCP remote invalidations must be the lowest", spec.Name)
+		}
+	}
+}
+
+// TestRegularPTScalingCollapse verifies the PSPT substrate claim:
+// adding cores helps PSPT but stops helping regular page tables.
+func TestRegularPTScalingCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	spec := cmcp.BT().Scale(0.08)
+	mk := func(cores int, tables cmcp.TableKind) cmcp.Config {
+		return cmcp.Config{
+			Cores:       cores,
+			Workload:    spec,
+			MemoryRatio: cmcp.Constraint(spec.Name),
+			Tables:      tables,
+			Policy:      cmcp.PolicySpec{Kind: cmcp.FIFO},
+			Seed:        5,
+		}
+	}
+	results, err := cmcp.RunMany([]cmcp.Config{
+		mk(8, cmcp.PSPT), mk(56, cmcp.PSPT),
+		mk(8, cmcp.RegularPT), mk(56, cmcp.RegularPT),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psptSpeedup := float64(results[0].Runtime) / float64(results[1].Runtime)
+	regSpeedup := float64(results[2].Runtime) / float64(results[3].Runtime)
+	if psptSpeedup < 3 {
+		t.Errorf("PSPT 8->56 core speedup = %.2fx, want >3x", psptSpeedup)
+	}
+	if regSpeedup > psptSpeedup/1.5 {
+		t.Errorf("regular PT speedup %.2fx too close to PSPT %.2fx — the collapse is the point",
+			regSpeedup, psptSpeedup)
+	}
+}
+
+// TestAdaptivePageSizeTracksEnvelope verifies the §5.7 extension: the
+// adaptive manager lands within a reasonable factor of the best fixed
+// page size at both a mild and a harsh memory constraint, and crucially
+// avoids the 2 MB deep-constraint catastrophe.
+func TestAdaptivePageSizeTracksEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	spec := cmcp.BT().Scale(0.1)
+	for _, ratio := range []float64{0.95, 0.5} {
+		mk := func(size cmcp.PageSize, adaptive bool) cmcp.Config {
+			return cmcp.Config{
+				Cores:            16,
+				Workload:         spec,
+				MemoryRatio:      ratio,
+				PageSize:         size,
+				AdaptivePageSize: adaptive,
+				Tables:           cmcp.PSPT,
+				Policy:           cmcp.PolicySpec{Kind: cmcp.FIFO},
+				Seed:             3,
+			}
+		}
+		results, err := cmcp.RunMany([]cmcp.Config{
+			mk(cmcp.Size4k, false), mk(cmcp.Size64k, false),
+			mk(cmcp.Size2M, false), mk(0, true),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := results[0].Runtime
+		for _, r := range results[:3] {
+			if r.Runtime < best {
+				best = r.Runtime
+			}
+		}
+		adaptive := results[3].Runtime
+		// The adapter is a heuristic: require it within 1.5x of the best
+		// fixed size (it is usually much closer at realistic scales).
+		if float64(adaptive) > 1.5*float64(best) {
+			t.Errorf("ratio %.2f: adaptive %d vs best fixed %d (>50%% off the envelope)",
+				ratio, adaptive, best)
+		}
+		// At the harsh constraint 2 MB thrashes; adaptive must not.
+		if ratio == 0.5 {
+			if twoMB := results[2].Runtime; float64(adaptive) > 0.5*float64(twoMB) {
+				t.Errorf("adaptive %d did not avoid the 2MB catastrophe %d", adaptive, twoMB)
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package core implements the paper's primary contribution: the
+// Core-Map Count based Priority (CMCP) page replacement policy (§3).
+//
+// CMCP exploits auxiliary knowledge that only per-core partially
+// separated page tables (PSPT) can provide: the number of CPU cores
+// mapping each page. Intuitively, pages mapped by many cores are (a)
+// likely more important than per-core private data and (b) expensive to
+// evict, because remapping them requires TLB invalidations on every
+// mapping core. CMCP therefore keeps resident pages in two groups:
+//
+//   - a regular group maintained as a simple FIFO list, and
+//   - a priority group — a priority queue ordered by core-map count —
+//     holding at most a fraction p (0 <= p <= 1) of the resident pages.
+//
+// When a core sets up a PTE, the policy consults PSPT for the page's
+// core-map count and tries to place the page into the priority group,
+// displacing the current minimum if the group is full and the new page
+// maps more cores. A slow aging mechanism drains stale prioritized
+// pages back to FIFO so the group cannot be monopolized. Eviction takes
+// the FIFO head, or the lowest-priority page when the FIFO is empty.
+//
+// The crucial property: no step of this requires reading or clearing
+// PTE accessed bits, so CMCP issues zero statistics-related remote TLB
+// invalidations — the overhead that sinks LRU-style policies on
+// many-cores.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+)
+
+// DefaultP is the prioritized-pages ratio used when none is given. The
+// paper tunes p per workload (Figure 9); 0.5 is a robust middle ground.
+const DefaultP = 0.5
+
+// CMCP is the Core-Map Count based Priority replacement policy.
+type CMCP struct {
+	host     policy.Host
+	capacity int     // resident-mapping capacity (device frames / span)
+	p        float64 // ratio of prioritized pages
+
+	fifo  *policy.List
+	prio  prioHeap
+	index map[sim.PageID]*prioItem
+
+	agePeriod sim.Cycles
+	ageDecay  float64
+	nextAge   sim.Cycles
+	seq       uint64
+
+	// dynamic-p tuner (the paper's §5.6 future work); nil when static.
+	tuner *Tuner
+}
+
+// prioItem is one page in the priority group. key starts at the page's
+// core-map count and decays with aging; a page whose key falls below 1
+// (a core-private page's count) drains back to FIFO.
+type prioItem struct {
+	base sim.PageID
+	key  float64
+	seq  uint64 // FIFO tie-break: older first
+	pos  int
+}
+
+// prioHeap is a min-heap: the root is the lowest-priority page, i.e.
+// the next to be displaced or evicted from the priority group.
+type prioHeap []*prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *prioHeap) Push(x any) {
+	it := x.(*prioItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Option customizes a CMCP instance.
+type Option func(*CMCP)
+
+// WithP sets the prioritized-pages ratio p in [0, 1].
+func WithP(p float64) Option {
+	return func(c *CMCP) { c.p = p }
+}
+
+// WithAgePeriod sets the aging sweep period in cycles.
+func WithAgePeriod(period sim.Cycles) Option {
+	return func(c *CMCP) { c.agePeriod = period }
+}
+
+// WithAgeDecay sets how much every prioritized page's key decays per
+// aging sweep (default 1.0, one mapping core's worth).
+func WithAgeDecay(d float64) Option {
+	return func(c *CMCP) { c.ageDecay = d }
+}
+
+// WithTuner attaches a dynamic-p tuner (see Tuner).
+func WithTuner(t *Tuner) Option {
+	return func(c *CMCP) { c.tuner = t }
+}
+
+// New creates a CMCP policy. host supplies core-map counts (PSPT);
+// capacity is the number of mappings the device can hold and bounds the
+// priority group at p*capacity.
+func New(host policy.Host, capacity int, opts ...Option) *CMCP {
+	if capacity < 0 {
+		panic(fmt.Sprintf("core: negative capacity %d", capacity))
+	}
+	c := &CMCP{
+		host:      host,
+		capacity:  capacity,
+		p:         DefaultP,
+		fifo:      policy.NewList(),
+		index:     make(map[sim.PageID]*prioItem),
+		agePeriod: sim.DefaultCostModel().AgePeriod,
+		ageDecay:  1.0,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.p < 0 || c.p > 1 {
+		panic(fmt.Sprintf("core: p=%v out of [0,1]", c.p))
+	}
+	if c.tuner != nil {
+		c.tuner.attach(c)
+	}
+	return c
+}
+
+// Name implements policy.Policy.
+func (c *CMCP) Name() string { return "CMCP" }
+
+// P returns the current prioritized-pages ratio.
+func (c *CMCP) P() float64 { return c.p }
+
+// SetP changes the ratio at runtime (used by the dynamic tuner). A
+// shrunken priority group drains lazily through aging and eviction.
+func (c *CMCP) SetP(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.p = p
+}
+
+// maxPrio is the current priority-group bound, p * capacity.
+func (c *CMCP) maxPrio() int { return int(c.p * float64(c.capacity)) }
+
+// PTESetup implements policy.Policy. Called whenever any core installs
+// a PTE for base: the policy re-reads the page's core-map count from
+// PSPT and (re)considers its placement. No TLB activity is involved —
+// the count is free auxiliary knowledge from the per-core page tables.
+func (c *CMCP) PTESetup(base sim.PageID) {
+	count := c.host.CoreMapCount(base)
+	if count < 0 {
+		// Running over regular page tables (no PSPT): the core-map
+		// count does not exist and every page is indistinguishable.
+		count = 1
+	}
+	key := float64(count)
+	if it, ok := c.index[base]; ok {
+		// Already prioritized: refresh the key if sharing grew.
+		if key > it.key {
+			it.key = key
+			heap.Fix(&c.prio, it.pos)
+		}
+		return
+	}
+	if c.fifo.Has(base) {
+		// Resident on the FIFO list; a new core mapped it. Try to
+		// promote it into the priority group.
+		if c.tryPromote(base, key) {
+			c.fifo.Remove(base)
+		}
+		return
+	}
+	// Newly resident page.
+	if !c.tryAdmit(base, key) {
+		c.fifo.PushTail(base)
+	}
+}
+
+// tryAdmit places a new page into the priority group if there is room
+// or it beats the current minimum. The displaced minimum falls to FIFO.
+func (c *CMCP) tryAdmit(base sim.PageID, key float64) bool {
+	max := c.maxPrio()
+	if max <= 0 {
+		return false
+	}
+	if len(c.prio) < max {
+		c.pushPrio(base, key)
+		return true
+	}
+	min := c.prio[0]
+	if key <= min.key {
+		return false
+	}
+	heap.Pop(&c.prio)
+	delete(c.index, min.base)
+	c.fifo.PushTail(min.base)
+	c.pushPrio(base, key)
+	return true
+}
+
+// tryPromote moves a FIFO-resident page into the priority group under
+// the same admission rule; the caller removes it from FIFO on success.
+func (c *CMCP) tryPromote(base sim.PageID, key float64) bool {
+	return c.tryAdmit(base, key)
+}
+
+func (c *CMCP) pushPrio(base sim.PageID, key float64) {
+	c.seq++
+	it := &prioItem{base: base, key: key, seq: c.seq}
+	c.index[base] = it
+	heap.Push(&c.prio, it)
+}
+
+// Victim implements policy.Policy: the FIFO head, or — only when the
+// regular list is empty — the lowest-priority page (§3: "the algorithm
+// either takes the first page of the regular FIFO list, or if the
+// regular list is empty, the lowest priority page ... is removed").
+func (c *CMCP) Victim() (sim.PageID, bool) {
+	if base, ok := c.fifo.PopHead(); ok {
+		return base, true
+	}
+	if len(c.prio) == 0 {
+		return 0, false
+	}
+	it := heap.Pop(&c.prio).(*prioItem)
+	delete(c.index, it.base)
+	return it.base, true
+}
+
+// Remove implements policy.Policy.
+func (c *CMCP) Remove(base sim.PageID) {
+	if it, ok := c.index[base]; ok {
+		heap.Remove(&c.prio, it.pos)
+		delete(c.index, base)
+		return
+	}
+	c.fifo.Remove(base)
+}
+
+// Resident implements policy.Policy.
+func (c *CMCP) Resident() int { return c.fifo.Len() + len(c.prio) }
+
+// Groups returns the (fifo, priority) group sizes for tests and the
+// Figure 9 analysis.
+func (c *CMCP) Groups() (fifo, prio int) { return c.fifo.Len(), len(c.prio) }
+
+// Tick implements policy.Policy: the aging sweep. Every agePeriod all
+// prioritized pages' keys decay by ageDecay; pages whose key drops
+// below 1 (no better than core-private) fall back to the FIFO list, so
+// pages that are no longer shared cannot monopolize the priority group.
+// Aging also enforces a shrunken bound after SetP.
+func (c *CMCP) Tick(now sim.Cycles) {
+	if c.tuner != nil {
+		c.tuner.tick(now)
+	}
+	if now < c.nextAge {
+		return
+	}
+	c.nextAge = now + c.agePeriod
+	for _, it := range c.prio {
+		it.key -= c.ageDecay
+	}
+	// Keys changed uniformly, so heap order is preserved; only drain
+	// the underflowed minimums and any excess over the (possibly
+	// reduced) bound.
+	for len(c.prio) > 0 && (c.prio[0].key < 1 || len(c.prio) > c.maxPrio()) {
+		it := heap.Pop(&c.prio).(*prioItem)
+		delete(c.index, it.base)
+		c.fifo.PushTail(it.base)
+	}
+}
+
+// NoteFault lets the VM report a major page fault to the policy; CMCP
+// forwards it to the dynamic-p tuner when one is attached. The method
+// satisfies the optional vm.FaultObserver extension.
+func (c *CMCP) NoteFault() {
+	if c.tuner != nil {
+		c.tuner.noteFault()
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/stats"
+)
+
+// Fig6 reproduces Figure 6: the distribution of computation-area pages
+// according to the number of CPU cores mapping them, per application,
+// as the core count grows. The histogram is read from PSPT's per-core
+// page tables after a run with unconstrained memory (every page stays
+// resident, so the histogram covers the whole footprint).
+//
+// Expected shape: for every application the majority of pages is mapped
+// by only a few cores; CG and SCALE have >50 % core-private pages with
+// the remainder almost all mapped by two cores; LU and BT spread up to
+// ~6-8 cores with over half mapped by at most three.
+func Fig6(o Options) (*Report, error) {
+	rep := &Report{
+		ID:    "fig6",
+		Title: "Distribution of pages by number of mapping CPU cores (PSPT, 4kB pages)",
+	}
+	for _, spec := range o.apps() {
+		var cfgs []machine.Config
+		for _, cores := range o.coreCounts() {
+			cfg := o.baseConfig(spec, cores)
+			cfg.MemoryRatio = 1.0 // unconstrained: histogram covers all pages
+			cfgs = append(cfgs, cfg)
+		}
+		results, err := o.run(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		const maxBin = 8 // the paper bins 1..7 cores and "8+"
+		tab := &stats.Table{Title: fmt.Sprintf("Fig6 %s: %% of pages mapped by k cores", spec.Name)}
+		for k := 1; k < maxBin; k++ {
+			tab.Columns = append(tab.Columns, fmt.Sprintf("%d", k))
+		}
+		tab.Columns = append(tab.Columns, fmt.Sprintf("%d+", maxBin))
+		for i, res := range results {
+			hist := res.Sharing
+			total := 0
+			for k := 1; k < len(hist); k++ {
+				total += hist[k]
+			}
+			cells := make([]any, maxBin)
+			for k := 1; k <= maxBin && k < len(hist); k++ {
+				count := hist[k]
+				if k == maxBin {
+					for j := maxBin + 1; j < len(hist); j++ {
+						count += hist[j]
+					}
+				}
+				cells[k-1] = fmt.Sprintf("%.1f%%", 100*float64(count)/float64(maxInt(total, 1)))
+			}
+			for k := range cells {
+				if cells[k] == nil {
+					cells[k] = "0.0%"
+				}
+			}
+			tab.AddRow(fmt.Sprintf("%d cores", cfgs[i].Cores), cells...)
+		}
+		rep.Tables = append(rep.Tables, tab)
+	}
+	return rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/vm"
+)
+
+// fig7Configs are the five lines of each Figure 7 plot.
+type fig7Config struct {
+	label  string
+	tables vm.TableKind
+	policy machine.PolicySpec
+	ratio  float64 // 0 = the workload's §5.4 constraint; 1 = unconstrained
+}
+
+func fig7Lines() []fig7Config {
+	return []fig7Config{
+		{label: "no data movement", tables: vm.RegularPT, policy: machine.PolicySpec{Kind: machine.FIFO}, ratio: 1.0},
+		{label: "regular PT + FIFO", tables: vm.RegularPT, policy: machine.PolicySpec{Kind: machine.FIFO}},
+		{label: "PSPT + FIFO", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.FIFO}},
+		{label: "PSPT + LRU", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.LRU}},
+		{label: "PSPT + CMCP", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.CMCP, P: -1}},
+	}
+}
+
+// cmcpP returns the per-workload CMCP ratio used in Fig. 7 and Table 1
+// (the paper tunes p manually per workload, §5.6: CG favours a low
+// ratio; LU and SCALE high; BT in between).
+func cmcpP(name string) float64 {
+	switch {
+	case name == "" || len(name) < 2:
+		return 0.5
+	case name[:2] == "cg":
+		return 0.25
+	case name[:2] == "lu":
+		return 0.625
+	case name[:2] == "bt":
+		return 0.5
+	default: // SCALE
+		return 0.875
+	}
+}
+
+// Fig7 reproduces Figure 7: runtime scalability over core counts for
+// the five configurations. Expected shapes: regular PT stops scaling
+// beyond ~24 cores (frequently slowing down outright); PSPT tracks the
+// no-data-movement scaling; CMCP > FIFO > LRU everywhere, with CMCP
+// beating FIFO at 56 cores by roughly 38 % (BT), 25 % (LU), 23 % (CG)
+// and 13 % (SCALE).
+func Fig7(o Options) (*Report, error) {
+	rep := &Report{
+		ID:    "fig7",
+		Title: "Runtime vs CPU cores: page tables x replacement policies (4kB pages)",
+	}
+	lines := fig7Lines()
+	for _, spec := range o.apps() {
+		var cfgs []machine.Config
+		for _, cores := range o.coreCounts() {
+			for _, ln := range lines {
+				cfg := o.baseConfig(spec, cores)
+				cfg.Tables = ln.tables
+				cfg.Policy = ln.policy
+				if cfg.Policy.Kind == machine.CMCP {
+					cfg.Policy.P = cmcpP(spec.Name)
+				}
+				if ln.ratio > 0 {
+					cfg.MemoryRatio = ln.ratio
+				}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		results, err := o.run(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		tab := &stats.Table{Title: fmt.Sprintf("Fig7 %s: runtime (Mcycles; lower is better)", spec.Name)}
+		for _, ln := range lines {
+			tab.Columns = append(tab.Columns, ln.label)
+		}
+		tab.Columns = append(tab.Columns, "CMCP vs FIFO")
+		idx := 0
+		for _, cores := range o.coreCounts() {
+			cells := make([]any, 0, len(lines)+1)
+			var fifoRT, cmcpRT sim.Cycles
+			for _, ln := range lines {
+				rt := results[idx].Runtime
+				idx++
+				cells = append(cells, fmt.Sprintf("%.1f", float64(rt)/1e6))
+				switch ln.label {
+				case "PSPT + FIFO":
+					fifoRT = rt
+				case "PSPT + CMCP":
+					cmcpRT = rt
+				}
+			}
+			imp := 100 * (float64(fifoRT) - float64(cmcpRT)) / float64(fifoRT)
+			cells = append(cells, fmt.Sprintf("%+.1f%%", imp))
+			tab.AddRow(fmt.Sprintf("%d cores", cores), cells...)
+		}
+		rep.Tables = append(rep.Tables, tab)
+	}
+	return rep, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/stats"
+)
+
+// Fig8 reproduces Figure 8: relative performance (vs no data movement)
+// as a function of the physical memory provided, for PSPT + FIFO with
+// 4 kB pages on the maximum core count.
+//
+// Expected shapes: LU and BT degrade gradually as soon as memory drops
+// below 100 % of the footprint; CG holds its performance down to ~35 %
+// and SCALE to ~55 % (their sparse/hot data representations), after
+// which performance falls steadily.
+func Fig8(o Options) (*Report, error) {
+	cores := o.maxCores()
+	rep := &Report{
+		ID:    "fig8",
+		Title: fmt.Sprintf("Relative performance vs memory provided (PSPT+FIFO, 4kB, %d cores)", cores),
+	}
+	apps := o.apps()
+	ratios := o.memoryRatios()
+
+	var cfgs []machine.Config
+	for _, spec := range apps {
+		for _, r := range ratios {
+			cfg := o.baseConfig(spec, cores)
+			cfg.MemoryRatio = r
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.run(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &stats.Table{Title: "Fig8: relative performance (1.0 = no data movement)"}
+	for _, spec := range apps {
+		tab.Columns = append(tab.Columns, spec.Name)
+	}
+	for ri, r := range ratios {
+		cells := make([]any, len(apps))
+		for ai := range apps {
+			base := results[ai*len(ratios)].Runtime // ratio 1.0 is first
+			rt := results[ai*len(ratios)+ri].Runtime
+			cells[ai] = fmt.Sprintf("%.2f", float64(base)/float64(rt))
+		}
+		tab.AddRow(fmt.Sprintf("%.0f%% memory", r*100), cells...)
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep, nil
+}

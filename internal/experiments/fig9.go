@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/stats"
+)
+
+// Fig9 reproduces Figure 9: the impact of the prioritized-pages ratio p
+// on CMCP's improvement over FIFO (PSPT, 4 kB pages, max cores, §5.4
+// constraints).
+//
+// Expected shape: the best p is workload specific — CG benefits most
+// from a low ratio, LU and SCALE from a high one — and a badly chosen p
+// degrades the improvement substantially.
+func Fig9(o Options) (*Report, error) {
+	cores := o.maxCores()
+	rep := &Report{
+		ID:    "fig9",
+		Title: fmt.Sprintf("CMCP improvement over FIFO vs ratio p (PSPT, 4kB, %d cores)", cores),
+	}
+	apps := o.apps()
+	ps := o.pRatios()
+
+	var cfgs []machine.Config
+	for _, spec := range apps {
+		// FIFO baseline first, then the p sweep.
+		cfgs = append(cfgs, o.baseConfig(spec, cores))
+		for _, p := range ps {
+			cfg := o.baseConfig(spec, cores)
+			cfg.Policy = machine.PolicySpec{Kind: machine.CMCP, P: p}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.run(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &stats.Table{Title: "Fig9: improvement over FIFO (%) by prioritized-page ratio p"}
+	for _, spec := range apps {
+		tab.Columns = append(tab.Columns, spec.Name)
+	}
+	stride := 1 + len(ps)
+	for pi, p := range ps {
+		cells := make([]any, len(apps))
+		for ai := range apps {
+			fifo := float64(results[ai*stride].Runtime)
+			cmcp := float64(results[ai*stride+1+pi].Runtime)
+			cells[ai] = fmt.Sprintf("%+.1f%%", 100*(fifo-cmcp)/fifo)
+		}
+		tab.AddRow(fmt.Sprintf("p=%.3f", p), cells...)
+	}
+	rep.Tables = append(rep.Tables, tab)
+
+	// Extension (paper §5.6 future work): the dynamic-p tuner's result
+	// alongside the static sweep.
+	var dynCfgs []machine.Config
+	for _, spec := range apps {
+		cfg := o.baseConfig(spec, cores)
+		cfg.Policy = machine.PolicySpec{Kind: machine.CMCP, P: 0.5, DynamicP: true}
+		dynCfgs = append(dynCfgs, cfg)
+	}
+	dynResults, err := o.run(dynCfgs)
+	if err != nil {
+		return nil, err
+	}
+	dynTab := &stats.Table{Title: "Fig9 extension: dynamic-p tuner vs FIFO"}
+	dynTab.Columns = append(dynTab.Columns, tab.Columns...)
+	cells := make([]any, len(apps))
+	for ai := range apps {
+		fifo := float64(results[ai*stride].Runtime)
+		dyn := float64(dynResults[ai].Runtime)
+		cells[ai] = fmt.Sprintf("%+.1f%%", 100*(fifo-dyn)/fifo)
+	}
+	dynTab.AddRow("dynamic p", cells...)
+	rep.Tables = append(rep.Tables, dynTab)
+	return rep, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+)
+
+// Sensitivity is an extension beyond the paper: it stress-tests the
+// headline result (CMCP > FIFO > LRU) against the calibration
+// assumptions of the cost model. Each row scales one parameter across
+// a 4-16x range and reports the CMCP and LRU margins over FIFO on the
+// BT workload at max cores. If the ordering flips only at extreme
+// values, the reproduction's conclusions do not hinge on the exact
+// calibration — the paper's argument is structural, not numeric.
+func Sensitivity(o Options) (*Report, error) {
+	cores := o.maxCores()
+	rep := &Report{
+		ID:    "sense",
+		Title: fmt.Sprintf("Sensitivity of the CMCP/FIFO/LRU ordering to cost-model parameters (bt, %d cores)", cores),
+	}
+	spec := o.apps()[0] // bt
+	multipliers := []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+	if o.Quick {
+		multipliers = []float64{0.5, 1.0, 2.0}
+	}
+	params := []struct {
+		name  string
+		apply func(*sim.CostModel, float64)
+	}{
+		{"IPIInterrupt (target-side shootdown cost)", func(c *sim.CostModel, f float64) {
+			c.IPIInterrupt = sim.Cycles(float64(c.IPIInterrupt) * f)
+		}},
+		{"FaultService (kernel fault-path cost)", func(c *sim.CostModel, f float64) {
+			c.FaultService = sim.Cycles(float64(c.FaultService) * f)
+		}},
+		{"DMABytesPerCycle (PCIe bandwidth)", func(c *sim.CostModel, f float64) {
+			c.DMABytesPerCycle *= f
+		}},
+		{"IPIPerTarget (initiator IPI-loop cost)", func(c *sim.CostModel, f float64) {
+			c.IPIPerTarget = sim.Cycles(float64(c.IPIPerTarget) * f)
+		}},
+	}
+
+	policies := []machine.PolicySpec{
+		{Kind: machine.FIFO},
+		{Kind: machine.CMCP, P: cmcpP(spec.Name)},
+		{Kind: machine.LRU},
+	}
+
+	var cfgs []machine.Config
+	for _, prm := range params {
+		for _, mult := range multipliers {
+			cost := sim.DefaultCostModel()
+			prm.apply(&cost, mult)
+			for _, pol := range policies {
+				cfg := o.baseConfig(spec, cores)
+				cfg.Cost = cost
+				cfg.Policy = pol
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := o.run(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &stats.Table{
+		Title:   "Sensitivity: margin over FIFO (positive = faster than FIFO)",
+		Columns: []string{"CMCP", "LRU"},
+	}
+	idx := 0
+	for _, prm := range params {
+		for _, mult := range multipliers {
+			fifo := float64(results[idx].Runtime)
+			cmcpRT := float64(results[idx+1].Runtime)
+			lruRT := float64(results[idx+2].Runtime)
+			idx += 3
+			tab.AddRow(fmt.Sprintf("%s x%.2f", prm.name, mult),
+				fmt.Sprintf("%+.1f%%", 100*(fifo-cmcpRT)/fifo),
+				fmt.Sprintf("%+.1f%%", 100*(fifo-lruRT)/fifo))
+		}
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep, nil
+}

@@ -1,0 +1,373 @@
+// Package machine is the discrete-event engine of the CMCP simulator.
+// It builds a many-core machine (cores with TLBs, device memory, host
+// backing store, page tables, a replacement policy), feeds each core
+// its workload access stream, and advances per-core virtual clocks in
+// deterministic (clock, coreID) order until every stream is drained.
+//
+// One Simulate call is single-threaded and bit-reproducible; parameter
+// sweeps parallelize across independent Simulate calls (RunMany).
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cmcp/internal/core"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/tlb"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// PolicyKind names a replacement policy.
+type PolicyKind uint8
+
+const (
+	// FIFO is the baseline first-in first-out policy.
+	FIFO PolicyKind = iota
+	// LRU is the Linux-style active/inactive approximation.
+	LRU
+	// CMCP is the paper's core-map count based priority policy.
+	CMCP
+	// CLOCK is the second-chance algorithm.
+	CLOCK
+	// LFU is the sampled least-frequently-used approximation.
+	LFU
+	// Random evicts uniformly at random.
+	Random
+)
+
+// String returns the policy display name.
+func (k PolicyKind) String() string {
+	switch k {
+	case FIFO:
+		return "FIFO"
+	case LRU:
+		return "LRU"
+	case CMCP:
+		return "CMCP"
+	case CLOCK:
+		return "CLOCK"
+	case LFU:
+		return "LFU"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", uint8(k))
+	}
+}
+
+// PolicySpec selects and parameterizes the replacement policy.
+type PolicySpec struct {
+	// Factory, when non-nil, overrides Kind entirely: the simulation
+	// uses the returned policy. This is the extension point for
+	// user-defined replacement policies.
+	Factory vm.PolicyFactory
+	Kind    PolicyKind
+	// P is CMCP's prioritized-pages ratio; negative means DefaultP.
+	P float64
+	// DynamicP attaches CMCP's fault-feedback tuner (future work §5.6).
+	DynamicP bool
+	// ScanPeriod overrides the LRU/LFU statistics timer (0 = default).
+	ScanPeriod sim.Cycles
+	// ScanBatch overrides pages scanned per timer tick (0 = adaptive:
+	// the whole resident set, the high-pressure Linux regime).
+	ScanBatch int
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Cores is the number of application cores (1..60 on KNC).
+	Cores int
+	// Workload is the access-stream spec.
+	Workload workload.Spec
+	// MemoryRatio sets device memory as a fraction of the workload
+	// footprint (1.0 = everything fits, no data movement). Values are
+	// clamped to at least one mapping.
+	MemoryRatio float64
+	// PageSize is the computation-area mapping granularity (ignored
+	// when AdaptivePageSize is set).
+	PageSize sim.PageSize
+	// AdaptivePageSize lets the kernel pick 4 kB/64 kB/2 MB per 2 MB
+	// block from fault-frequency feedback (paper §5.7 future work).
+	AdaptivePageSize bool
+	// Tables picks regular shared page tables or PSPT.
+	Tables vm.TableKind
+	// Policy selects the replacement policy.
+	Policy PolicySpec
+	// Seed drives all randomness (workload streams, Random policy).
+	Seed uint64
+	// Cost overrides the cycle-cost model (zero value = defaults).
+	Cost sim.CostModel
+	// TLB overrides the TLB geometry (zero value = defaults).
+	TLB tlb.Config
+	// Verify enables page-content integrity checking.
+	Verify bool
+	// TickInterval is the granularity at which the scanner pseudo-core
+	// runs policy periodic work (0 = 1 ms simulated).
+	TickInterval sim.Cycles
+	// NoWarmup skips the steady-state warm-up phase (each core touching
+	// its population once before measurement begins). The default
+	// warm-up mirrors the paper's steady-state measurements; disabling
+	// it exposes cold-start demand paging to the measured counters.
+	NoWarmup bool
+	// PSPTRebuildPeriod periodically drops all private PTEs so the
+	// sharing picture re-forms (paper §5.6; PSPT only; 0 = off).
+	PSPTRebuildPeriod sim.Cycles
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Config  Config
+	Run     *stats.Run
+	Runtime sim.Cycles
+	// Frames is the device size the MemoryRatio resolved to.
+	Frames int
+	// TotalPages is the workload footprint actually laid out.
+	TotalPages int
+	// Sharing is the final PSPT pages-per-core-map-count histogram
+	// (nil under regular page tables).
+	Sharing []int
+	// Resident is the number of resident mappings at the end of the run.
+	Resident int
+	// PolicyName is the resolved policy's display name.
+	PolicyName string
+}
+
+// Frames computes the device size in 4 kB frames for a footprint of
+// pages at the given ratio and page size: mappings are span-aligned, so
+// the full footprint rounds up to whole mappings, and the constrained
+// size rounds to whole mappings too.
+func Frames(pages int, ratio float64, size sim.PageSize) int {
+	span := int(size.Span())
+	mappings := (pages + span - 1) / span
+	full := mappings * span
+	f := int(ratio*float64(full) + 0.5)
+	f = (f + span - 1) / span * span
+	if f < span {
+		f = span
+	}
+	if f > full {
+		f = full
+	}
+	return f
+}
+
+// buildPolicy resolves the policy factory for a run.
+func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
+	if cfg.Policy.Factory != nil {
+		return cfg.Policy.Factory, nil
+	}
+	span := int(cfg.PageSize.Span())
+	capacity := frames / span
+	switch cfg.Policy.Kind {
+	case FIFO:
+		return func(policy.Host) policy.Policy { return policy.NewFIFO() }, nil
+	case LRU:
+		return func(h policy.Host) policy.Policy {
+			// The paper's kernel scans every 10 ms over runs of minutes.
+			// The simulated runs compress time ~10^3x (footprints are
+			// scaled down), so the default scan period compresses too,
+			// preserving the scans-per-page-residency ratio that drives
+			// Table 1's invalidation counts.
+			period := cfg.Policy.ScanPeriod
+			if period == 0 {
+				period = 50_000
+			}
+			opts := []policy.LRUOption{policy.WithScanPeriod(period)}
+			batch := cfg.Policy.ScanBatch
+			if batch == 0 {
+				batch = capacity // high-pressure regime: scan everything
+			}
+			opts = append(opts, policy.WithScanBatch(batch))
+			return policy.NewLRU(h, opts...)
+		}, nil
+	case CMCP:
+		return func(h policy.Host) policy.Policy {
+			opts := []core.Option{}
+			if cfg.Policy.P >= 0 {
+				opts = append(opts, core.WithP(cfg.Policy.P))
+			}
+			if cfg.Policy.DynamicP {
+				opts = append(opts, core.WithTuner(core.NewTuner(core.TunerConfig{})))
+			}
+			return core.New(h, capacity, opts...)
+		}, nil
+	case CLOCK:
+		return func(h policy.Host) policy.Policy { return policy.NewClock(h) }, nil
+	case LFU:
+		return func(h policy.Host) policy.Policy {
+			period := cfg.Policy.ScanPeriod
+			if period == 0 {
+				period = 50_000 // compressed like LRU's; see above
+			}
+			opts := []policy.LFUOption{policy.WithLFUScanPeriod(period)}
+			batch := cfg.Policy.ScanBatch
+			if batch == 0 {
+				batch = capacity
+			}
+			opts = append(opts, policy.WithLFUScanBatch(batch))
+			return policy.NewLFU(h, opts...)
+		}, nil
+	case Random:
+		return func(policy.Host) policy.Policy { return policy.NewRandom(cfg.Seed ^ 0xabcdef) }, nil
+	default:
+		return nil, fmt.Errorf("machine: unknown policy kind %v", cfg.Policy.Kind)
+	}
+}
+
+// coreEvent is one schedulable entity: an application core or the
+// scanner pseudo-core.
+type coreEvent struct {
+	id     sim.CoreID
+	clock  sim.Cycles
+	stream workload.Stream // nil for the scanner
+}
+
+// eventHeap orders by (clock, id) for deterministic tie-breaking.
+type eventHeap []*coreEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(*coreEvent)) }
+func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// Simulate executes one run to completion and returns its Result.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("machine: %d cores", cfg.Cores)
+	}
+	if cfg.MemoryRatio <= 0 {
+		cfg.MemoryRatio = 1
+	}
+	if cfg.TickInterval == 0 {
+		// Half the compressed default scan period, so timer-driven
+		// policies never miss a deadline by more than half a period.
+		cfg.TickInterval = 25_000
+	}
+	layout, err := cfg.Workload.Build(cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	frames := Frames(layout.TotalPages, cfg.MemoryRatio, cfg.PageSize)
+	factory, err := buildPolicy(cfg, frames)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := vm.NewManager(vm.Config{
+		Cores:    cfg.Cores,
+		Frames:   frames,
+		PageSize: cfg.PageSize,
+		Tables:   cfg.Tables,
+		TLB:      cfg.TLB,
+		Cost:     cfg.Cost,
+		Verify:   cfg.Verify,
+		Adaptive: cfg.AdaptivePageSize,
+
+		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+
+	run := mgr.Run()
+	var t0 sim.Cycles
+	if !cfg.NoWarmup {
+		// Warm-up: every core touches its population once, bringing the
+		// resident set and TLBs to steady state, then all cores
+		// synchronize at a barrier and the counters are rebased.
+		t0 = runPhase(mgr, cfg, layout.WarmupStreams(), 0)
+		warm := run.Clone()
+		for c := 0; c < cfg.Cores; c++ {
+			mgr.TakeDebt(sim.CoreID(c)) // drop warm-up interrupt debt
+		}
+		end := runPhase(mgr, cfg, layout.Streams(cfg.Seed), t0)
+		_ = end
+		if err := run.Subtract(warm); err != nil {
+			return nil, err
+		}
+		for i := range run.Finish {
+			if run.Finish[i] > t0 {
+				run.Finish[i] -= t0
+			} else {
+				run.Finish[i] = 0
+			}
+		}
+	} else {
+		runPhase(mgr, cfg, layout.Streams(cfg.Seed), 0)
+	}
+
+	res := &Result{
+		Config:     cfg,
+		Run:        run,
+		Runtime:    run.Runtime(),
+		Frames:     frames,
+		TotalPages: layout.TotalPages,
+		PolicyName: mgr.Policy().Name(),
+		Resident:   mgr.Resident(),
+	}
+	if h, ok := mgr.SharingHistogram(); ok {
+		res.Sharing = h
+	}
+	return res, nil
+}
+
+// runPhase drives the DES until every core drains its stream, starting
+// all clocks at start. It records per-core finish times and returns the
+// barrier time (the latest finishing clock, scanner included in its own
+// lane but excluded from the barrier).
+func runPhase(mgr *vm.Manager, cfg Config, streams []workload.Stream, start sim.Cycles) sim.Cycles {
+	run := mgr.Run()
+	var events eventHeap
+	for c := 0; c < cfg.Cores; c++ {
+		events = append(events, &coreEvent{id: sim.CoreID(c), clock: start, stream: streams[c]})
+	}
+	scanner := &coreEvent{id: sim.ScannerCore(cfg.Cores), clock: start}
+	events = append(events, scanner)
+	heap.Init(&events)
+
+	remaining := cfg.Cores
+	var barrier sim.Cycles
+	for remaining > 0 {
+		ev := heap.Pop(&events).(*coreEvent)
+		if ev.stream == nil {
+			// Scanner pseudo-core: run policy periodic work, then
+			// schedule the next tick after the work completes.
+			cost := mgr.Tick(ev.clock)
+			next := ev.clock + cfg.TickInterval
+			if done := ev.clock + cost; done > next {
+				next = done
+			}
+			ev.clock = next
+			heap.Push(&events, ev)
+			continue
+		}
+		// Deliver pending invalidation IPIs before the next access.
+		if debt := mgr.TakeDebt(ev.id); debt > 0 {
+			ev.clock += debt
+			heap.Push(&events, ev)
+			continue
+		}
+		a, ok := ev.stream.Next()
+		if !ok {
+			run.Finish[ev.id] = ev.clock
+			if ev.clock > barrier {
+				barrier = ev.clock
+			}
+			remaining--
+			continue // core retires; not re-pushed
+		}
+		ev.clock = mgr.Access(ev.id, a.VPN, a.Write, ev.clock)
+		heap.Push(&events, ev)
+	}
+	run.Finish[scanner.id] = scanner.clock
+	return barrier
+}

@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes independent simulations concurrently, preserving
+// input order in the returned slice. Each Simulate call is
+// single-threaded and deterministic, so the sweep is embarrassingly
+// parallel: this is how the experiment harness exploits the host
+// machine's cores without sacrificing reproducibility.
+func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(cfgs) {
+		parallelism = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Simulate(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("machine: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

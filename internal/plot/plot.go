@@ -1,0 +1,211 @@
+// Package plot renders small ASCII line charts in the terminal, so the
+// experiment harness can show the *shapes* of the paper's figures —
+// crossovers, knees, scaling collapses — not just number grids.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cmcp/internal/stats"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders the series over a shared X axis as an ASCII chart of
+// the given plot-area size (axes and legend add a few rows/columns).
+// All series must have len(Y) == len(xlabels); missing points may be
+// NaN and are skipped.
+func Lines(title string, xlabels []string, series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Sprintf("%s\n(no data)\n", title)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom so extremes do not sit on the frame.
+	span := hi - lo
+	lo -= span * 0.05
+	hi += span * 0.05
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	n := len(xlabels)
+	colOf := func(i int) int {
+		if n <= 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, v := range s.Y {
+			if i >= n || math.IsNaN(v) {
+				prevC = -1
+				continue
+			}
+			c, r := colOf(i), rowOf(v)
+			if prevC >= 0 {
+				drawSegment(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = m
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabelW := 8
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(hi)
+		case height - 1:
+			label = trimNum(lo)
+		case (height - 1) / 2:
+			label = trimNum((hi + lo) / 2)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	// X labels: first and last (middle if it fits).
+	first, last := "", ""
+	if n > 0 {
+		first, last = xlabels[0], xlabels[n-1]
+	}
+	gap := width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", yLabelW, "", first, strings.Repeat(" ", gap), last)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yLabelW, "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// drawSegment draws a sparse connector between two points.
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, ch rune) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	if len(s) > 8 {
+		s = fmt.Sprintf("%.3g", v)
+	}
+	return s
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FromTable converts a stats.Table whose cells are numeric (possibly
+// with "%" or other suffixes) into a chart: one series per column, row
+// labels as the X axis. Returns "" when fewer than two rows parse.
+func FromTable(t *stats.Table, width, height int) string {
+	if len(t.Rows) < 2 {
+		return ""
+	}
+	xlabels := make([]string, len(t.Rows))
+	series := make([]Series, len(t.Columns))
+	for i := range series {
+		series[i] = Series{Name: t.Columns[i], Y: make([]float64, len(t.Rows))}
+	}
+	parsed := 0
+	for ri, row := range t.Rows {
+		xlabels[ri] = row.Label
+		ok := false
+		for ci := range series {
+			v := math.NaN()
+			if ci < len(row.Cells) {
+				if f, err := parseNumeric(row.Cells[ci]); err == nil {
+					v = f
+					ok = true
+				}
+			}
+			series[ci].Y[ri] = v
+		}
+		if ok {
+			parsed++
+		}
+	}
+	if parsed < 2 {
+		return ""
+	}
+	return Lines(t.Title, xlabels, series, width, height)
+}
+
+// parseNumeric parses a float out of a cell, tolerating %, +, and
+// surrounding space.
+func parseNumeric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}

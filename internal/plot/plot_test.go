@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cmcp/internal/stats"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines("demo", []string{"a", "b", "c"}, []Series{
+		{Name: "up", Y: []float64{1, 2, 3}},
+		{Name: "down", Y: []float64{3, 2, 1}},
+	}, 30, 8)
+	for _, want := range []string{"demo", "* up", "o down", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The rising series' first marker must be lower (later row) than its
+	// last marker.
+	lines := strings.Split(out, "\n")
+	firstStar, lastStar := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") {
+			if firstStar == -1 {
+				firstStar = i
+			}
+			lastStar = i
+		}
+	}
+	if firstStar == lastStar {
+		t.Errorf("rising series must span rows:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndFlat(t *testing.T) {
+	out := Lines("none", []string{"x"}, []Series{{Name: "nan", Y: []float64{math.NaN()}}}, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Error("all-NaN must render gracefully")
+	}
+	flat := Lines("flat", []string{"a", "b"}, []Series{{Name: "c", Y: []float64{5, 5}}}, 10, 5)
+	if !strings.Contains(flat, "*") {
+		t.Error("flat series must still draw")
+	}
+}
+
+func TestLinesClampsTinySizes(t *testing.T) {
+	out := Lines("t", []string{"a", "b"}, []Series{{Name: "s", Y: []float64{0, 1}}}, 1, 1)
+	if out == "" {
+		t.Error("tiny sizes must clamp, not crash")
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tab := &stats.Table{Title: "relperf", Columns: []string{"4kB", "64kB"}}
+	tab.AddRow("100%", "1.00", "1.00")
+	tab.AddRow("80%", "0.70", "0.50")
+	tab.AddRow("60%", "0.50", "0.20")
+	out := FromTable(tab, 24, 6)
+	if out == "" {
+		t.Fatal("numeric table must plot")
+	}
+	if !strings.Contains(out, "relperf") || !strings.Contains(out, "64kB") {
+		t.Errorf("plot missing metadata:\n%s", out)
+	}
+}
+
+func TestFromTablePercentCells(t *testing.T) {
+	tab := &stats.Table{Columns: []string{"CMCP"}}
+	tab.AddRow("p=0", "+0.0%")
+	tab.AddRow("p=1", "+15.3%")
+	if FromTable(tab, 20, 5) == "" {
+		t.Error("percent cells must parse")
+	}
+}
+
+func TestFromTableNonNumeric(t *testing.T) {
+	tab := &stats.Table{Columns: []string{"a"}}
+	tab.AddRow("r1", "hello")
+	tab.AddRow("r2", "world")
+	if FromTable(tab, 20, 5) != "" {
+		t.Error("non-numeric table must be skipped")
+	}
+	one := &stats.Table{Columns: []string{"a"}}
+	one.AddRow("r1", "1")
+	if FromTable(one, 20, 5) != "" {
+		t.Error("single-row table must be skipped")
+	}
+}

@@ -1,0 +1,38 @@
+package policy
+
+import "cmcp/internal/sim"
+
+// FIFO is the baseline first-in first-out policy: pages are evicted in
+// the order they became resident. It needs no usage statistics and
+// therefore causes no statistics shootdowns — the property that,
+// surprisingly, lets it beat LRU on many-cores (paper §5.4).
+type FIFO struct {
+	list *List
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{list: NewList()} }
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// PTESetup implements Policy. Only the first setup (the fault that
+// brought the page in) enqueues; later cores' minor faults leave the
+// queue position unchanged.
+func (f *FIFO) PTESetup(base sim.PageID) {
+	if !f.list.Has(base) {
+		f.list.PushTail(base)
+	}
+}
+
+// Victim implements Policy: the oldest resident page.
+func (f *FIFO) Victim() (sim.PageID, bool) { return f.list.PopHead() }
+
+// Remove implements Policy.
+func (f *FIFO) Remove(base sim.PageID) { f.list.Remove(base) }
+
+// Tick implements Policy (no periodic work).
+func (f *FIFO) Tick(sim.Cycles) {}
+
+// Resident implements Policy.
+func (f *FIFO) Resident() int { return f.list.Len() }

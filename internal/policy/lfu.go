@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"container/heap"
+
+	"cmcp/internal/sim"
+)
+
+// LFU approximates least-frequently-used. Real kernels cannot count
+// individual references, so — like LRU — the approximation samples PTE
+// accessed bits on a timer: each scan in which a page's bit was found
+// set increments its frequency estimate, and frequencies decay so stale
+// pages can leave. Victims are minimum-frequency pages. The paper (§3)
+// lists LFU among the access-bit-dependent policies that inherit LRU's
+// shootdown overhead; this implementation makes that measurable.
+type LFU struct {
+	host       Host
+	heap       lfuHeap
+	index      map[sim.PageID]*lfuItem
+	scanPeriod sim.Cycles
+	scanBatch  int
+	nextScan   sim.Cycles
+	seq        uint64
+	cursor     sim.PageID // resume point for the round-robin scan
+}
+
+type lfuItem struct {
+	base sim.PageID
+	freq int32
+	seq  uint64 // FIFO tie-break among equal frequencies
+	pos  int
+}
+
+type lfuHeap []*lfuItem
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *lfuHeap) Push(x any) {
+	it := x.(*lfuItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// LFUOption customizes an LFU instance.
+type LFUOption func(*LFU)
+
+// WithLFUScanPeriod sets the sampling period in cycles.
+func WithLFUScanPeriod(p sim.Cycles) LFUOption {
+	return func(l *LFU) { l.scanPeriod = p }
+}
+
+// WithLFUScanBatch caps pages sampled per run.
+func WithLFUScanBatch(n int) LFUOption {
+	return func(l *LFU) { l.scanBatch = n }
+}
+
+// NewLFU returns an LFU approximation backed by host.
+func NewLFU(host Host, opts ...LFUOption) *LFU {
+	l := &LFU{
+		host:       host,
+		index:      make(map[sim.PageID]*lfuItem),
+		scanPeriod: sim.DefaultCostModel().ScanPeriod,
+		scanBatch:  256,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Name implements Policy.
+func (l *LFU) Name() string { return "LFU" }
+
+// PTESetup implements Policy. A fault is itself a reference: new pages
+// start at frequency 1, and an additional core's minor fault bumps the
+// estimate.
+func (l *LFU) PTESetup(base sim.PageID) {
+	if it, ok := l.index[base]; ok {
+		it.freq++
+		heap.Fix(&l.heap, it.pos)
+		return
+	}
+	l.seq++
+	it := &lfuItem{base: base, freq: 1, seq: l.seq}
+	l.index[base] = it
+	heap.Push(&l.heap, it)
+}
+
+// Victim implements Policy: the minimum-frequency page.
+func (l *LFU) Victim() (sim.PageID, bool) {
+	if l.heap.Len() == 0 {
+		return 0, false
+	}
+	it := heap.Pop(&l.heap).(*lfuItem)
+	delete(l.index, it.base)
+	return it.base, true
+}
+
+// Remove implements Policy.
+func (l *LFU) Remove(base sim.PageID) {
+	it, ok := l.index[base]
+	if !ok {
+		return
+	}
+	heap.Remove(&l.heap, it.pos)
+	delete(l.index, base)
+}
+
+// Resident implements Policy.
+func (l *LFU) Resident() int { return l.heap.Len() }
+
+// Tick implements Policy: sample a batch of pages round-robin by base,
+// incrementing frequencies of accessed pages and decaying the rest.
+func (l *LFU) Tick(now sim.Cycles) {
+	if now < l.nextScan {
+		return
+	}
+	l.nextScan = now + l.scanPeriod
+	if len(l.index) == 0 {
+		return
+	}
+	// Snapshot bases after the cursor to sample deterministically.
+	batch := make([]*lfuItem, 0, l.scanBatch)
+	var wrap []*lfuItem
+	for _, it := range l.index {
+		if it.base >= l.cursor {
+			batch = append(batch, it)
+		} else {
+			wrap = append(wrap, it)
+		}
+	}
+	sortItems(batch)
+	sortItems(wrap)
+	batch = append(batch, wrap...)
+	if len(batch) > l.scanBatch {
+		batch = batch[:l.scanBatch]
+	}
+	for _, it := range batch {
+		if l.host.ScanAccessed(it.base) {
+			it.freq += 2
+		} else if it.freq > 1 {
+			it.freq--
+		}
+		heap.Fix(&l.heap, it.pos)
+	}
+	if len(batch) > 0 {
+		l.cursor = batch[len(batch)-1].base + 1
+	}
+}
+
+// sortItems sorts by base VPN (insertion sort is fine for scan batches).
+func sortItems(items []*lfuItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].base < items[j-1].base; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

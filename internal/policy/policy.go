@@ -1,0 +1,157 @@
+// Package policy defines the page replacement policy interface of the
+// simulated kernel and the baseline implementations the paper compares
+// against: FIFO, a Linux-style LRU approximation (active/inactive lists
+// driven by periodic access-bit scanning), CLOCK, LFU and Random.
+//
+// The policies operate on resident *mappings*, identified by their
+// size-aligned base VPN. They never see individual memory touches —
+// on real hardware the OS only observes page faults and PTE accessed
+// bits, and collecting the latter is precisely the overhead the paper
+// measures. Policies that need usage statistics obtain them through
+// Host.ScanAccessed, whose implementation (in package vm) charges the
+// scan cost and the remote TLB invalidations it causes.
+//
+// The paper's own policy, CMCP, lives in internal/core.
+package policy
+
+import (
+	"cmcp/internal/sim"
+)
+
+// Host is the kernel-side interface a policy may consult. It is
+// deliberately narrow: the number of mapping cores (free under PSPT)
+// and the access-bit scan (expensive everywhere).
+type Host interface {
+	// CoreMapCount returns the number of cores currently mapping base.
+	// Under regular shared page tables this information does not exist
+	// and the implementation returns -1.
+	CoreMapCount(base sim.PageID) int
+
+	// ScanAccessed tests and clears the accessed bit(s) of the mapping
+	// at base, charging the scan cost and the remote TLB invalidations
+	// that clearing set bits requires. It reports whether the mapping
+	// was accessed since the last scan.
+	ScanAccessed(base sim.PageID) bool
+}
+
+// Policy is a page replacement policy. Implementations are not safe
+// for concurrent use; the event engine serializes calls.
+type Policy interface {
+	// Name returns the short policy name used in experiment output.
+	Name() string
+
+	// PTESetup notifies the policy that a core has established a PTE
+	// for the resident mapping at base: once on the major fault that
+	// brought the page in, and again on every later minor fault by an
+	// additional core. (Under regular page tables only the major fault
+	// is visible — additional cores reuse the shared PTE silently.)
+	PTESetup(base sim.PageID)
+
+	// Victim selects the mapping to evict and removes it from the
+	// policy's bookkeeping. ok is false when nothing is tracked.
+	Victim() (base sim.PageID, ok bool)
+
+	// Remove deletes base from the bookkeeping without an eviction
+	// decision (explicit unmap, teardown). Unknown pages are ignored.
+	Remove(base sim.PageID)
+
+	// Tick advances periodic machinery (LRU's scan timer, CMCP's
+	// aging) to virtual time now. The engine calls it from the
+	// dedicated scanner pseudo-core.
+	Tick(now sim.Cycles)
+
+	// Resident returns the number of mappings currently tracked.
+	Resident() int
+}
+
+// List is an intrusive doubly-linked list of page bases with O(1)
+// membership, push, remove and pop, shared by the queue-like policies.
+type List struct {
+	nodes map[sim.PageID]*listNode
+	head  *listNode // oldest
+	tail  *listNode // newest
+}
+
+type listNode struct {
+	base       sim.PageID
+	prev, next *listNode
+}
+
+// NewList returns an empty list.
+func NewList() *List {
+	return &List{nodes: make(map[sim.PageID]*listNode)}
+}
+
+// Len returns the number of elements.
+func (l *List) Len() int { return len(l.nodes) }
+
+// Has reports whether base is on the list.
+func (l *List) Has(base sim.PageID) bool {
+	_, ok := l.nodes[base]
+	return ok
+}
+
+// PushTail appends base as the newest element. Pushing an existing
+// element is a bug in the caller and panics.
+func (l *List) PushTail(base sim.PageID) {
+	if _, ok := l.nodes[base]; ok {
+		panic("policy: page already on list")
+	}
+	n := &listNode{base: base, prev: l.tail}
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.nodes[base] = n
+}
+
+// PopHead removes and returns the oldest element.
+func (l *List) PopHead() (sim.PageID, bool) {
+	if l.head == nil {
+		return 0, false
+	}
+	base := l.head.base
+	l.Remove(base)
+	return base, true
+}
+
+// Remove deletes base if present, reporting whether it was.
+func (l *List) Remove(base sim.PageID) bool {
+	n, ok := l.nodes[base]
+	if !ok {
+		return false
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	delete(l.nodes, base)
+	return true
+}
+
+// MoveToTail refreshes base as the newest element.
+func (l *List) MoveToTail(base sim.PageID) bool {
+	if !l.Remove(base) {
+		return false
+	}
+	l.PushTail(base)
+	return true
+}
+
+// ForEachFromHead iterates oldest-to-newest until fn returns false.
+// fn must not mutate the list; use collect-then-act patterns.
+func (l *List) ForEachFromHead(fn func(base sim.PageID) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.base) {
+			return
+		}
+	}
+}

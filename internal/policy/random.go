@@ -1,0 +1,63 @@
+package policy
+
+import "cmcp/internal/sim"
+
+// Random evicts a uniformly random resident page. It is a sanity
+// baseline: any policy worth running should beat it, and like FIFO it
+// needs no usage statistics.
+type Random struct {
+	rng   *sim.RNG
+	pages []sim.PageID
+	index map[sim.PageID]int
+}
+
+// NewRandom returns a random policy seeded deterministically.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: sim.NewRNG(seed), index: make(map[sim.PageID]int)}
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "Random" }
+
+// PTESetup implements Policy.
+func (r *Random) PTESetup(base sim.PageID) {
+	if _, ok := r.index[base]; ok {
+		return
+	}
+	r.index[base] = len(r.pages)
+	r.pages = append(r.pages, base)
+}
+
+// Victim implements Policy: uniform choice, O(1) removal by swapping
+// with the last slot.
+func (r *Random) Victim() (sim.PageID, bool) {
+	if len(r.pages) == 0 {
+		return 0, false
+	}
+	i := r.rng.Intn(len(r.pages))
+	base := r.pages[i]
+	r.removeAt(base, i)
+	return base, true
+}
+
+// Remove implements Policy.
+func (r *Random) Remove(base sim.PageID) {
+	if i, ok := r.index[base]; ok {
+		r.removeAt(base, i)
+	}
+}
+
+func (r *Random) removeAt(base sim.PageID, i int) {
+	last := len(r.pages) - 1
+	moved := r.pages[last]
+	r.pages[i] = moved
+	r.index[moved] = i
+	r.pages = r.pages[:last]
+	delete(r.index, base)
+}
+
+// Tick implements Policy (no periodic work).
+func (r *Random) Tick(sim.Cycles) {}
+
+// Resident implements Policy.
+func (r *Random) Resident() int { return len(r.pages) }

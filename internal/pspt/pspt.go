@@ -1,0 +1,355 @@
+// Package pspt implements per-core Partially Separated Page Tables,
+// the substrate from the authors' earlier CCGrid'13 paper that CMCP
+// builds on. Each core owns a private page table for the computation
+// area; kernel and regular user mappings live in a shared table (not
+// modelled here — only the computation area pages fault). Because every
+// core sets up PTEs only for addresses it actually touches:
+//
+//   - the set of cores mapping a page is known exactly, so a TLB
+//     shootdown on unmap goes only to those cores;
+//   - the number of mapping cores (the core-map count) is available as
+//     a free by-product, which is the auxiliary knowledge CMCP uses;
+//   - page-table synchronization is per-page, not address-space wide.
+package pspt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cmcp/internal/pagetable"
+	"cmcp/internal/sim"
+)
+
+// MaxCores is the largest number of cores a PSPT instance supports
+// (the core set is a fixed 128-bit bitmap; KNC has 60 cores + scanner).
+const MaxCores = 128
+
+// CoreSet is a bitmap of core IDs.
+type CoreSet [2]uint64
+
+// Add sets core's bit.
+func (s *CoreSet) Add(c sim.CoreID) { s[c>>6] |= 1 << (uint(c) & 63) }
+
+// Remove clears core's bit.
+func (s *CoreSet) Remove(c sim.CoreID) { s[c>>6] &^= 1 << (uint(c) & 63) }
+
+// Has reports whether core's bit is set.
+func (s CoreSet) Has(c sim.CoreID) bool { return s[c>>6]&(1<<(uint(c)&63)) != 0 }
+
+// Count returns the number of cores in the set — the core-map count.
+func (s CoreSet) Count() int { return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) }
+
+// Cores returns the member core IDs in ascending order, appended to dst.
+func (s CoreSet) Cores(dst []sim.CoreID) []sim.CoreID {
+	for w := 0; w < 2; w++ {
+		v := s[w]
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			dst = append(dst, sim.CoreID(w*64+b))
+			v &^= 1 << uint(b)
+		}
+	}
+	return dst
+}
+
+// Mapping is the bookkeeping record for one mapped region of the
+// computation area: its size class, base physical frame, the set of
+// cores holding a private PTE for it, and the per-page lock used to
+// model fine-grained synchronization in virtual time.
+type Mapping struct {
+	Base  sim.PageID // size-aligned virtual base page
+	Size  sim.PageSize
+	PFN   int64
+	Cores CoreSet
+	Lock  sim.Resource
+}
+
+// PSPT is the per-core partially separated page table set for one
+// address space on n cores.
+type PSPT struct {
+	n      int
+	tables []*pagetable.Table
+	maps   map[sim.PageID]*Mapping // keyed by size-aligned base VPN
+}
+
+// New creates a PSPT for n application cores.
+func New(n int) *PSPT {
+	if n <= 0 || n > MaxCores {
+		panic(fmt.Sprintf("pspt: %d cores out of range 1..%d", n, MaxCores))
+	}
+	p := &PSPT{n: n, tables: make([]*pagetable.Table, n), maps: make(map[sim.PageID]*Mapping)}
+	for i := range p.tables {
+		p.tables[i] = pagetable.New()
+	}
+	return p
+}
+
+// Cores returns the number of application cores.
+func (p *PSPT) Cores() int { return p.n }
+
+// Table exposes core's private table (tests and the scanner use it).
+func (p *PSPT) Table(core sim.CoreID) *pagetable.Table { return p.tables[core] }
+
+// Lookup resolves vpn through core's private table.
+func (p *PSPT) Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
+	return p.tables[core].Lookup(vpn)
+}
+
+// Mapping returns the bookkeeping record covering vpn, trying each size
+// class's alignment, or nil if the page is not resident.
+func (p *PSPT) Mapping(vpn sim.PageID) *Mapping {
+	for _, s := range []sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M} {
+		if m, ok := p.maps[s.Align(vpn)]; ok && m.Base == s.Align(vpn) {
+			if vpn < m.Base+m.Size.Span() {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// CoreMapCount returns the number of cores mapping vpn — the quantity
+// CMCP prioritizes by. Zero means not resident.
+func (p *PSPT) CoreMapCount(vpn sim.PageID) int {
+	if m := p.Mapping(vpn); m != nil {
+		return m.Cores.Count()
+	}
+	return 0
+}
+
+// MappingCores appends the IDs of cores mapping vpn to dst. This is the
+// precise shootdown target set PSPT makes available.
+func (p *PSPT) MappingCores(vpn sim.PageID, dst []sim.CoreID) []sim.CoreID {
+	if m := p.Mapping(vpn); m != nil {
+		return m.Cores.Cores(dst)
+	}
+	return dst
+}
+
+// setInTable installs the PTEs for one mapping into a single core's
+// private table.
+func (p *PSPT) setInTable(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) error {
+	t := p.tables[core]
+	switch size {
+	case sim.Size4k:
+		t.Set(base, pagetable.MakePTE(pfn, flags|pagetable.Present))
+		return nil
+	case sim.Size64k:
+		return t.Set64k(base, pfn, flags)
+	case sim.Size2M:
+		return t.Set2M(base, pagetable.MakePTE(pfn, flags))
+	default:
+		return fmt.Errorf("pspt: unknown page size %v", size)
+	}
+}
+
+func (p *PSPT) clearInTable(core sim.CoreID, base sim.PageID, size sim.PageSize) pagetable.PTE {
+	t := p.tables[core]
+	switch size {
+	case sim.Size64k:
+		return t.Clear64k(base)
+	case sim.Size2M:
+		return t.Clear2M(base)
+	default:
+		return t.Clear(base)
+	}
+}
+
+// Map establishes (or extends to another core) the mapping of the
+// region with the given size-aligned base. The first call creates the
+// bookkeeping record; later calls from other cores must agree on size
+// and frame. It returns the record and whether this was the first core.
+func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) (*Mapping, bool, error) {
+	if !size.Aligned(base) {
+		return nil, false, fmt.Errorf("pspt: Map base %d not %v aligned", base, size)
+	}
+	m, ok := p.maps[base]
+	if ok {
+		if m.Size != size || m.PFN != pfn {
+			return nil, false, fmt.Errorf("pspt: inconsistent remap of base %d: %v/%d vs %v/%d",
+				base, m.Size, m.PFN, size, pfn)
+		}
+		if m.Cores.Has(core) {
+			return m, false, nil // already mapped by this core
+		}
+	} else {
+		m = &Mapping{Base: base, Size: size, PFN: pfn}
+		p.maps[base] = m
+	}
+	if err := p.setInTable(core, base, size, pfn, flags); err != nil {
+		if m.Cores.Count() == 0 {
+			delete(p.maps, base)
+		}
+		return nil, false, err
+	}
+	first := m.Cores.Count() == 0
+	m.Cores.Add(core)
+	return m, first, nil
+}
+
+// CopyFromSibling implements the PSPT minor-fault path: when core
+// faults on vpn but some sibling core already maps the region, the
+// faulting core copies the sibling's PTE into its own table. It returns
+// the mapping record, or nil when no sibling maps the page (major
+// fault).
+func (p *PSPT) CopyFromSibling(core sim.CoreID, vpn sim.PageID, flags pagetable.PTE) (*Mapping, error) {
+	m := p.Mapping(vpn)
+	if m == nil {
+		return nil, nil
+	}
+	// A mapping record with zero cores occurs after a PSPT rebuild
+	// (all private PTEs dropped): the page is still resident, the
+	// kernel's frame bookkeeping resolves it without data movement.
+	if m.Cores.Has(core) {
+		return m, nil // racing fault; mapping already present
+	}
+	if err := p.setInTable(core, m.Base, m.Size, m.PFN, flags); err != nil {
+		return nil, err
+	}
+	m.Cores.Add(core)
+	return m, nil
+}
+
+// Unmap removes the mapping covering vpn from every core's table and
+// deletes the bookkeeping record. It returns the record (whose Cores
+// field is the precise shootdown target set) and whether any core's PTE
+// carried the dirty bit. Returns nil if vpn is not resident.
+func (p *PSPT) Unmap(vpn sim.PageID) (*Mapping, bool) {
+	m := p.Mapping(vpn)
+	if m == nil {
+		return nil, false
+	}
+	dirty := false
+	var cores []sim.CoreID
+	cores = m.Cores.Cores(cores)
+	for _, c := range cores {
+		old := p.clearInTable(c, m.Base, m.Size)
+		if old.Has(pagetable.Dirty) {
+			dirty = true
+		}
+		// For 64 kB groups the dirty bit may sit on any sub-entry;
+		// clearInTable returned only the first. Checked via Stat64k
+		// before clearing would be cleaner but costs a second walk;
+		// instead the caller tracks frame dirtiness in mem.Device.
+	}
+	delete(p.maps, m.Base)
+	return m, dirty
+}
+
+// Touch simulates the MMU setting accessed/dirty bits on core's private
+// PTE for vpn. For 64 kB groups the bits land on the touched sub-entry.
+func (p *PSPT) Touch(core sim.CoreID, vpn sim.PageID, write bool) {
+	t := p.tables[core]
+	_, size, ok := t.Lookup(vpn)
+	if !ok {
+		return
+	}
+	switch size {
+	case sim.Size2M:
+		t.Update2M(vpn, func(e pagetable.PTE) pagetable.PTE {
+			e = e.With(pagetable.Accessed)
+			if write {
+				e = e.With(pagetable.Dirty)
+			}
+			return e
+		})
+	default: // 4k and 64k members both carry bits on the individual PTE
+		t.Touch64k(vpn, write)
+	}
+}
+
+// ScanAccessed implements the statistics pass the LRU scanner performs
+// on one region: it tests and clears the accessed bit in every mapping
+// core's private table. It returns whether any core had accessed the
+// region since the last scan and the set of cores whose TLBs must be
+// invalidated (every core whose PTE was modified — on x86, clearing an
+// accessed bit requires invalidating the cached translation).
+func (p *PSPT) ScanAccessed(vpn sim.PageID, dst []sim.CoreID) (accessed bool, targets []sim.CoreID) {
+	m := p.Mapping(vpn)
+	if m == nil {
+		return false, dst
+	}
+	targets = dst
+	var cores []sim.CoreID
+	cores = m.Cores.Cores(cores)
+	for _, c := range cores {
+		t := p.tables[c]
+		hit := false
+		switch m.Size {
+		case sim.Size2M:
+			t.Update2M(m.Base, func(e pagetable.PTE) pagetable.PTE {
+				if e.Has(pagetable.Accessed) {
+					hit = true
+					return e.Without(pagetable.Accessed)
+				}
+				return e
+			})
+		case sim.Size64k:
+			a, _ := t.Stat64k(m.Base, true)
+			hit = a
+		default:
+			t.Update(m.Base, func(e pagetable.PTE) pagetable.PTE {
+				if e.Has(pagetable.Accessed) {
+					hit = true
+					return e.Without(pagetable.Accessed)
+				}
+				return e
+			})
+		}
+		if hit {
+			accessed = true
+		}
+		// Clearing (or even scanning-with-clear finding nothing set)
+		// only requires invalidation when a bit actually changed.
+		if hit {
+			targets = append(targets, c)
+		}
+	}
+	return accessed, targets
+}
+
+// ResidentMappings returns the number of live mapping records.
+func (p *PSPT) ResidentMappings() int { return len(p.maps) }
+
+// ForEachMapping calls fn for every live mapping record. Iteration
+// order is unspecified; callers needing determinism must sort.
+func (p *PSPT) ForEachMapping(fn func(*Mapping)) {
+	for _, m := range p.maps {
+		fn(m)
+	}
+}
+
+// Rebuild drops every core's private PTEs while keeping the mapping
+// records (frames stay owned): the sharing picture then re-forms from
+// scratch as cores re-fault, which is the paper's §5.6 answer to
+// workloads whose inter-core access pattern drifts over time ("a more
+// dynamic solution with periodically rebuilding PSPT could address
+// this issue as well"). It calls fn for every dropped (base, cores)
+// pair so the caller can invalidate the affected TLBs.
+func (p *PSPT) Rebuild(fn func(base sim.PageID, targets []sim.CoreID)) {
+	var scratch []sim.CoreID
+	for _, m := range p.maps {
+		if m.Cores.Count() == 0 {
+			continue
+		}
+		scratch = m.Cores.Cores(scratch[:0])
+		for _, c := range scratch {
+			p.clearInTable(c, m.Base, m.Size)
+		}
+		m.Cores = CoreSet{}
+		if fn != nil {
+			fn(m.Base, scratch)
+		}
+	}
+}
+
+// SharingHistogram returns hist where hist[k] is the number of resident
+// mappings whose core-map count is exactly k (k from 0 to Cores()).
+// This is the quantity Figure 6 of the paper plots.
+func (p *PSPT) SharingHistogram() []int {
+	hist := make([]int, p.n+1)
+	for _, m := range p.maps {
+		hist[m.Cores.Count()]++
+	}
+	return hist
+}

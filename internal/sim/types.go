@@ -1,0 +1,98 @@
+// Package sim provides the base vocabulary of the CMCP simulator: core,
+// page and frame identifiers, virtual time in cycles, the calibrated
+// cycle-cost model, virtual-time shared resources and a deterministic
+// random number generator.
+//
+// Everything in the simulator is expressed in simulated CPU cycles of a
+// 1.053 GHz Xeon Phi (Knights Corner) core. The discrete-event engine in
+// internal/machine advances per-core virtual clocks; packages below it
+// (tlb, vm, policy) only account costs through the CostModel and never
+// read wall-clock time, which keeps every run bit-reproducible.
+package sim
+
+import "fmt"
+
+// CoreID identifies a simulated CPU core. Cores are numbered 0..N-1.
+// The LRU statistics scanner runs on a dedicated pseudo-core whose ID is
+// returned by ScannerCore.
+type CoreID int32
+
+// PageID is a virtual page number (VPN) in the simulated application
+// address space, in units of the base page size (4 kB). A 64 kB mapping
+// covers 16 consecutive PageIDs; a 2 MB mapping covers 512.
+type PageID int64
+
+// FrameID is a physical frame number in the simulated device memory,
+// in units of the base page size. NoFrame marks an unmapped PTE.
+type FrameID int32
+
+// NoFrame is the FrameID stored in non-present mappings.
+const NoFrame FrameID = -1
+
+// Cycles is a duration or point in simulated time, in CPU cycles.
+type Cycles uint64
+
+// Base page geometry. All sizes are in bytes; PageID arithmetic is in
+// 4 kB units.
+const (
+	PageSize4k  = 4 << 10
+	PageSize64k = 64 << 10
+	PageSize2M  = 2 << 20
+
+	// Pages per mapping for each size class, in base (4 kB) pages.
+	Span4k  = 1
+	Span64k = 16
+	Span2M  = 512
+)
+
+// PageSize enumerates the mapping granularities supported by the Xeon
+// Phi MMU: 4 kB, the experimental 64 kB extension, and 2 MB.
+type PageSize uint8
+
+const (
+	Size4k PageSize = iota
+	Size64k
+	Size2M
+)
+
+// Span returns the number of base (4 kB) pages covered by one mapping
+// of this size.
+func (s PageSize) Span() PageID {
+	switch s {
+	case Size64k:
+		return Span64k
+	case Size2M:
+		return Span2M
+	default:
+		return Span4k
+	}
+}
+
+// Bytes returns the mapping size in bytes.
+func (s PageSize) Bytes() int64 { return int64(s.Span()) * PageSize4k }
+
+// Align returns vpn rounded down to the mapping boundary of this size.
+func (s PageSize) Align(vpn PageID) PageID { return vpn &^ (s.Span() - 1) }
+
+// Aligned reports whether vpn sits on a mapping boundary of this size.
+func (s PageSize) Aligned(vpn PageID) bool { return vpn&(s.Span()-1) == 0 }
+
+// String returns "4kB", "64kB" or "2MB".
+func (s PageSize) String() string {
+	switch s {
+	case Size4k:
+		return "4kB"
+	case Size64k:
+		return "64kB"
+	case Size2M:
+		return "2MB"
+	default:
+		return fmt.Sprintf("PageSize(%d)", uint8(s))
+	}
+}
+
+// ScannerCore returns the pseudo-core ID used by the LRU statistics
+// scanner when the machine has n application cores. The paper dedicates
+// hyperthreads to the scanning timer so application cores do not take
+// the timer interrupts; the pseudo-core models that arrangement.
+func ScannerCore(n int) CoreID { return CoreID(n) }

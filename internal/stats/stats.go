@@ -1,0 +1,305 @@
+// Package stats collects and aggregates per-core event counters for the
+// CMCP simulator and renders them as aligned text tables or CSV. The
+// counter set mirrors the attributes the paper reports in Table 1 (page
+// faults, remote TLB invalidations, dTLB misses) plus the internal
+// quantities used to explain them (IPIs, lock wait, bytes moved).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"cmcp/internal/sim"
+)
+
+// Counter identifies one per-core event counter.
+type Counter uint8
+
+const (
+	// PageFaults counts major faults (page not present on the device).
+	PageFaults Counter = iota
+	// MinorFaults counts faults resolved by copying a sibling core's
+	// PTE under PSPT (page resident, mapping absent on this core).
+	MinorFaults
+	// RemoteTLBInvalidations counts invalidation requests *received*
+	// from other cores (the paper's "remote TLB invalidations").
+	RemoteTLBInvalidations
+	// IPIsSent counts invalidation requests initiated by this core,
+	// one per target core.
+	IPIsSent
+	// DTLBMisses counts data TLB misses (L1 miss; includes L2 hits).
+	DTLBMisses
+	// TLBL2Hits counts L1 misses that hit in the unified L2 TLB.
+	TLBL2Hits
+	// PageWalks counts full page-table walks.
+	PageWalks
+	// Evictions counts victim pages this core swapped out.
+	Evictions
+	// WriteBacks counts dirty evictions that required a device-to-host
+	// copy before reuse of the frame.
+	WriteBacks
+	// BytesIn counts host-to-device bytes transferred on behalf of
+	// this core's faults.
+	BytesIn
+	// BytesOut counts device-to-host write-back bytes.
+	BytesOut
+	// LockWaitCycles accumulates virtual time spent queueing on page
+	// table locks.
+	LockWaitCycles
+	// ScanClears counts accessed bits cleared by the LRU scanner.
+	ScanClears
+	// Touches counts simulated page touches executed.
+	Touches
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"page_faults",
+	"minor_faults",
+	"remote_tlb_invalidations",
+	"ipis_sent",
+	"dtlb_misses",
+	"tlb_l2_hits",
+	"page_walks",
+	"evictions",
+	"write_backs",
+	"bytes_in",
+	"bytes_out",
+	"lock_wait_cycles",
+	"scan_clears",
+	"touches",
+}
+
+// NumCounters is the number of distinct counters.
+const NumCounters = int(numCounters)
+
+// Name returns the snake_case name of the counter.
+func (c Counter) Name() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(c))
+}
+
+// Run holds the complete measurement record of one simulation run:
+// per-core counters, per-core finishing times, and the run's metadata.
+type Run struct {
+	Cores    int
+	counters [][]uint64 // [core][counter]
+	Finish   []sim.Cycles
+}
+
+// NewRun allocates a record for n application cores plus the scanner
+// pseudo-core (index n).
+func NewRun(n int) *Run {
+	r := &Run{Cores: n}
+	r.counters = make([][]uint64, n+1)
+	for i := range r.counters {
+		r.counters[i] = make([]uint64, numCounters)
+	}
+	r.Finish = make([]sim.Cycles, n+1)
+	return r
+}
+
+// Add increments counter c for core by delta.
+func (r *Run) Add(core sim.CoreID, c Counter, delta uint64) {
+	r.counters[core][c] += delta
+}
+
+// Get returns the value of counter c for core.
+func (r *Run) Get(core sim.CoreID, c Counter) uint64 {
+	return r.counters[core][c]
+}
+
+// Total sums counter c over the application cores (excluding the
+// scanner pseudo-core).
+func (r *Run) Total(c Counter) uint64 {
+	var t uint64
+	for i := 0; i < r.Cores; i++ {
+		t += r.counters[i][c]
+	}
+	return t
+}
+
+// PerCoreAvg returns the application-core average of counter c, the
+// quantity Table 1 of the paper reports.
+func (r *Run) PerCoreAvg(c Counter) float64 {
+	if r.Cores == 0 {
+		return 0
+	}
+	return float64(r.Total(c)) / float64(r.Cores)
+}
+
+// Runtime returns the simulated makespan: the latest finishing time of
+// any application core.
+func (r *Run) Runtime() sim.Cycles {
+	var m sim.Cycles
+	for i := 0; i < r.Cores; i++ {
+		if r.Finish[i] > m {
+			m = r.Finish[i]
+		}
+	}
+	return m
+}
+
+// Merge adds other's counters and takes the elementwise max of finish
+// times. Both runs must have the same core count.
+func (r *Run) Merge(other *Run) error {
+	if other.Cores != r.Cores {
+		return fmt.Errorf("stats: merging runs with %d and %d cores", r.Cores, other.Cores)
+	}
+	for i := range r.counters {
+		for c := range r.counters[i] {
+			r.counters[i][c] += other.counters[i][c]
+		}
+		if other.Finish[i] > r.Finish[i] {
+			r.Finish[i] = other.Finish[i]
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the run record (used to snapshot
+// counters at the end of a warm-up phase).
+func (r *Run) Clone() *Run {
+	c := NewRun(r.Cores)
+	for i := range r.counters {
+		copy(c.counters[i], r.counters[i])
+	}
+	copy(c.Finish, r.Finish)
+	return c
+}
+
+// Subtract removes a baseline snapshot from the counters (Finish times
+// are left untouched; the engine rebases those itself). Used to report
+// only the measured phase after a warm-up.
+func (r *Run) Subtract(base *Run) error {
+	if base.Cores != r.Cores {
+		return fmt.Errorf("stats: subtracting run with %d cores from %d", base.Cores, r.Cores)
+	}
+	for i := range r.counters {
+		for c := range r.counters[i] {
+			r.counters[i][c] -= base.counters[i][c]
+		}
+	}
+	return nil
+}
+
+// DivideBy divides every counter and finish time by n (used to average
+// replicated runs).
+func (r *Run) DivideBy(n uint64) {
+	if n <= 1 {
+		return
+	}
+	for i := range r.counters {
+		for c := range r.counters[i] {
+			r.counters[i][c] /= n
+		}
+		r.Finish[i] /= sim.Cycles(n)
+	}
+}
+
+// Table is a simple rectangular result table with row labels, used by
+// the experiment harness to render paper-style output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one labelled row of cells.
+type TableRow struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(label string, cells ...any) {
+	row := TableRow{Label: label}
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row.Cells = append(row.Cells, FormatFloat(v))
+		default:
+			row.Cells = append(row.Cells, fmt.Sprintf("%v", c))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// otherwise two significant decimals.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if len(c) > widths[i+1] {
+			widths[i+1] = len(c)
+		}
+	}
+	writeRow := func(label string, cells []string) {
+		fmt.Fprintf(&b, "%-*s", widths[0], label)
+		for i, c := range cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow("", t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r.Label, r.Cells)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, c := range r.Cells {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

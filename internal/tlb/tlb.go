@@ -1,0 +1,209 @@
+// Package tlb models the per-core data TLBs of the simulated many-core
+// and the remote-shootdown machinery. Each core has a small L1 TLB per
+// page-size class (4 kB / 64 kB / 2 MB) and a unified L2; replacement
+// is FIFO within a class, as in the simple in-order KNC cores. The Phi's
+// 64 kB extension caches a whole 16-page group as a single entry, which
+// is exactly the TLB-reach benefit the paper measures.
+//
+// Shootdowns: on x86 a core can only invalidate its own TLB, so
+// remapping a page requires an IPI loop over every core that may cache
+// the translation. With regular page tables that set is unknown and the
+// loop covers all cores; with PSPT it is exactly the mapping cores.
+// Package vm charges the corresponding costs from the sim.CostModel.
+package tlb
+
+import (
+	"cmcp/internal/sim"
+)
+
+// HitLevel classifies the outcome of a TLB lookup.
+type HitLevel uint8
+
+const (
+	// Miss means neither level holds the translation; a page walk runs.
+	Miss HitLevel = iota
+	// HitL1 is a first-level hit (free).
+	HitL1
+	// HitL2 is a second-level hit (small penalty, entry promoted).
+	HitL2
+)
+
+// Config sets the per-core TLB geometry. The defaults follow Knights
+// Corner: 64×4 kB and 8×2 MB L1 entries, 32 entries for the
+// experimental 64 kB class, and a 64-entry unified L2.
+type Config struct {
+	L1Entries4k  int
+	L1Entries64k int
+	L1Entries2M  int
+	L2Entries    int
+}
+
+// DefaultConfig returns the KNC-like geometry.
+func DefaultConfig() Config {
+	return Config{L1Entries4k: 64, L1Entries64k: 32, L1Entries2M: 8, L2Entries: 64}
+}
+
+// entry is a cached translation, keyed by size-aligned base VPN.
+type entry struct {
+	size sim.PageSize
+}
+
+// fifoSet is a fixed-capacity, fully associative set with FIFO
+// replacement and lazy queue cleanup (invalidated entries leave stale
+// queue slots that are skipped at eviction time).
+type fifoSet struct {
+	cap     int
+	entries map[sim.PageID]entry
+	queue   []sim.PageID
+	head    int
+}
+
+func newFifoSet(capacity int) *fifoSet {
+	return &fifoSet{cap: capacity, entries: make(map[sim.PageID]entry, capacity)}
+}
+
+func (s *fifoSet) has(base sim.PageID) (entry, bool) {
+	e, ok := s.entries[base]
+	return e, ok
+}
+
+// insert adds base and returns the entry evicted to make room, if any.
+func (s *fifoSet) insert(base sim.PageID, e entry) (sim.PageID, entry, bool) {
+	if s.cap <= 0 {
+		return 0, entry{}, false
+	}
+	if _, ok := s.entries[base]; ok {
+		return 0, entry{}, false // refresh: FIFO ignores re-reference
+	}
+	var evictedBase sim.PageID
+	var evicted entry
+	var hasEvicted bool
+	for len(s.entries) >= s.cap {
+		// Pop queue head; skip slots whose entry was invalidated.
+		vb := s.queue[s.head]
+		s.head++
+		if ev, ok := s.entries[vb]; ok {
+			delete(s.entries, vb)
+			evictedBase, evicted, hasEvicted = vb, ev, true
+		}
+	}
+	s.entries[base] = e
+	s.queue = append(s.queue, base)
+	s.compact()
+	return evictedBase, evicted, hasEvicted
+}
+
+func (s *fifoSet) invalidate(base sim.PageID) bool {
+	if _, ok := s.entries[base]; ok {
+		delete(s.entries, base)
+		return true
+	}
+	return false
+}
+
+func (s *fifoSet) flush() {
+	clear(s.entries)
+	s.queue = s.queue[:0]
+	s.head = 0
+}
+
+// compact reclaims queue space when the consumed prefix dominates.
+func (s *fifoSet) compact() {
+	if s.head > 64 && s.head*2 > len(s.queue) {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+}
+
+func (s *fifoSet) len() int { return len(s.entries) }
+
+// TLB is one core's data TLB: three L1 size classes plus a unified L2.
+// It is not safe for concurrent use; the event engine serializes cores.
+type TLB struct {
+	l1 [3]*fifoSet // indexed by sim.PageSize
+	l2 *fifoSet
+}
+
+// New creates a TLB with the given geometry.
+func New(cfg Config) *TLB {
+	return &TLB{
+		l1: [3]*fifoSet{
+			sim.Size4k:  newFifoSet(cfg.L1Entries4k),
+			sim.Size64k: newFifoSet(cfg.L1Entries64k),
+			sim.Size2M:  newFifoSet(cfg.L1Entries2M),
+		},
+		l2: newFifoSet(cfg.L2Entries),
+	}
+}
+
+var sizes = [3]sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M}
+
+// Lookup probes the TLB for vpn. Hardware probes each size class with
+// the correspondingly aligned tag. An L2 hit promotes the entry to the
+// proper L1 class.
+func (t *TLB) Lookup(vpn sim.PageID) HitLevel {
+	for _, s := range sizes {
+		if _, ok := t.l1[s].has(s.Align(vpn)); ok {
+			return HitL1
+		}
+	}
+	for _, s := range sizes {
+		base := s.Align(vpn)
+		if e, ok := t.l2.has(base); ok && e.size == s {
+			t.l2.invalidate(base)
+			t.installL1(base, e)
+			return HitL2
+		}
+	}
+	return Miss
+}
+
+// Insert caches the translation for the mapping of the given size
+// covering vpn, as the hardware does after a successful page walk.
+func (t *TLB) Insert(vpn sim.PageID, size sim.PageSize) {
+	base := size.Align(vpn)
+	t.installL1(base, entry{size: size})
+}
+
+func (t *TLB) installL1(base sim.PageID, e entry) {
+	if vb, ve, ok := t.l1[e.size].insert(base, e); ok {
+		// L1 victim is demoted into the unified L2.
+		t.l2.insert(vb, ve)
+	}
+}
+
+// Invalidate drops any cached translation covering vpn (the INVLPG
+// operation). It reports whether an entry was actually present, which
+// determines whether the invalidation had any effect.
+func (t *TLB) Invalidate(vpn sim.PageID) bool {
+	hit := false
+	for _, s := range sizes {
+		base := s.Align(vpn)
+		if t.l1[s].invalidate(base) {
+			hit = true
+		}
+		if e, ok := t.l2.has(base); ok && e.size == s {
+			t.l2.invalidate(base)
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Flush empties the TLB (full flush, e.g. on context switch).
+func (t *TLB) Flush() {
+	for _, s := range sizes {
+		t.l1[s].flush()
+	}
+	t.l2.flush()
+}
+
+// Entries returns the current number of cached translations across
+// both levels (diagnostics).
+func (t *TLB) Entries() int {
+	n := t.l2.len()
+	for _, s := range sizes {
+		n += t.l1[s].len()
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package vm
+
+import "cmcp/internal/sim"
+
+// This file implements the paper's §5.7/§7 future work: "the operating
+// system could monitor page fault frequency and adjust page sizes
+// dynamically so that it always provides the highest performance. At
+// the same time, different page sizes could be used for different
+// parts of the address space."
+//
+// The sizeAdapter tracks fault frequency per 2 MB block of the
+// computation area (with periodic decay) and picks each new mapping's
+// granularity at fault time: rarely-faulting blocks get large mappings
+// (fewer TLB misses), frequently-faulting blocks get small ones (less
+// data movement and narrower shootdowns per eviction). Residency
+// counters per 64 kB group and 2 MB block keep mixed sizes conflict
+// free: a large mapping is only chosen when nothing smaller is live
+// underneath it, exactly the constraint the Phi's page tables impose.
+
+// Adaptive thresholds: with fewer than demote64k faults in the current
+// window a block is considered quiet (2 MB), below demote4k it is warm
+// (64 kB), above that it is hot-churning (4 kB).
+const (
+	adaptDemote64k = 8
+	adaptDemote4k  = 48
+)
+
+// adaptDecayPeriod halves all block fault counters (in simulated
+// cycles), forgetting old behaviour so blocks can be re-promoted.
+const adaptDecayPeriod sim.Cycles = 1_000_000
+
+// sizeAdapter holds the per-block statistics and residency counters.
+type sizeAdapter struct {
+	blockFaults map[sim.PageID]uint32 // 2MB-aligned base -> faults this window
+	resInBlock  map[sim.PageID]int32  // live mappings per 2MB block
+	resInGroup  map[sim.PageID]int32  // live mappings per 64kB group
+	// recentEvictions gates 2 MB mappings: under eviction pressure a
+	// huge mapping would have to carve a 512-frame aligned hole out of
+	// small resident mappings — a compaction storm. Real kernels
+	// disable transparent huge pages under pressure for the same
+	// reason.
+	recentEvictions uint32
+	nextDecay       sim.Cycles
+}
+
+func newSizeAdapter() *sizeAdapter {
+	return &sizeAdapter{
+		blockFaults: make(map[sim.PageID]uint32),
+		resInBlock:  make(map[sim.PageID]int32),
+		resInGroup:  make(map[sim.PageID]int32),
+	}
+}
+
+// choose picks the mapping size for a fault at vpn.
+func (a *sizeAdapter) choose(vpn sim.PageID) sim.PageSize {
+	block := sim.Size2M.Align(vpn)
+	group := sim.Size64k.Align(vpn)
+	a.blockFaults[block]++
+	f := a.blockFaults[block]
+	switch {
+	case f > adaptDemote4k:
+		return sim.Size4k
+	case f > adaptDemote64k:
+		if a.resInGroup[group] == 0 {
+			return sim.Size64k
+		}
+		return sim.Size4k
+	default:
+		if a.resInBlock[block] == 0 && a.recentEvictions == 0 {
+			return sim.Size2M
+		}
+		if a.resInGroup[group] == 0 {
+			return sim.Size64k
+		}
+		return sim.Size4k
+	}
+}
+
+// mapped records a new mapping's residency.
+func (a *sizeAdapter) mapped(base sim.PageID, size sim.PageSize) {
+	block := sim.Size2M.Align(base)
+	a.resInBlock[block]++
+	switch size {
+	case sim.Size2M:
+		// A 2MB mapping occupies all 32 groups of its block.
+		for g := sim.PageID(0); g < sim.Span2M; g += sim.Span64k {
+			a.resInGroup[base+g]++
+		}
+	default:
+		a.resInGroup[sim.Size64k.Align(base)]++
+	}
+}
+
+// unmapped reverses mapped.
+func (a *sizeAdapter) unmapped(base sim.PageID, size sim.PageSize) {
+	a.recentEvictions++
+	block := sim.Size2M.Align(base)
+	a.resInBlock[block]--
+	switch size {
+	case sim.Size2M:
+		for g := sim.PageID(0); g < sim.Span2M; g += sim.Span64k {
+			a.resInGroup[base+g]--
+		}
+	default:
+		a.resInGroup[sim.Size64k.Align(base)]--
+	}
+}
+
+// tick decays the fault counters so blocks can be re-promoted.
+func (a *sizeAdapter) tick(now sim.Cycles) {
+	if now < a.nextDecay {
+		return
+	}
+	a.nextDecay = now + adaptDecayPeriod
+	for b, f := range a.blockFaults {
+		if f <= 1 {
+			delete(a.blockFaults, b)
+		} else {
+			a.blockFaults[b] = f / 2
+		}
+	}
+	a.recentEvictions /= 2
+}

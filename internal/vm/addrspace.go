@@ -1,0 +1,301 @@
+// Package vm implements the virtual-memory subsystem of the simulated
+// lightweight kernel: the per-access path (TLB → page walk → fault),
+// the page fault handler with eviction, TLB shootdowns, write-back and
+// PCIe page-in, and the glue binding page tables, device memory and a
+// replacement policy together.
+package vm
+
+import (
+	"fmt"
+
+	"cmcp/internal/pagetable"
+	"cmcp/internal/pspt"
+	"cmcp/internal/sim"
+)
+
+// TableKind selects the page-table organization.
+type TableKind uint8
+
+const (
+	// RegularPT is the traditional organization: one set of page tables
+	// shared by all cores, protected by an address-space-wide lock.
+	// Which cores cache a translation is unknowable, so every TLB
+	// shootdown must broadcast to all cores.
+	RegularPT TableKind = iota
+	// PSPTKind uses per-core partially separated page tables: precise
+	// shootdown targets, per-page locking, and core-map counts.
+	PSPTKind
+)
+
+// String returns "PSPT" or "regularPT".
+func (k TableKind) String() string {
+	if k == PSPTKind {
+		return "PSPT"
+	}
+	return "regularPT"
+}
+
+// addressSpace abstracts the two page-table organizations for the
+// fault handler. All methods are bookkeeping-only; costs are charged by
+// the Manager from the sim.CostModel.
+type addressSpace interface {
+	// Lookup resolves vpn as seen by core.
+	Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool)
+
+	// ResolveSibling implements the PSPT minor-fault path: if the page
+	// is resident via another core, replicate its PTE into core's table
+	// and return the mapping's base. Regular page tables have no such
+	// path (the shared PTE is visible to everyone) and return ok=false.
+	ResolveSibling(core sim.CoreID, vpn sim.PageID, flags pagetable.PTE) (base sim.PageID, ok bool)
+
+	// Map establishes a new mapping for core at the size-aligned base.
+	Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) error
+
+	// Unmap removes the mapping covering vpn from all tables. targets
+	// is the set of cores whose TLBs must be invalidated: the precise
+	// mapping set under PSPT, all cores under regular tables.
+	Unmap(vpn sim.PageID) (base sim.PageID, size sim.PageSize, pfn int64, targets []sim.CoreID, ok bool)
+
+	// Touch simulates the MMU setting accessed (and dirty, for writes)
+	// bits for core's view of vpn.
+	Touch(core sim.CoreID, vpn sim.PageID, write bool)
+
+	// CoreMapCount returns the number of cores mapping base, or -1 when
+	// the organization cannot know (regular tables).
+	CoreMapCount(base sim.PageID) int
+
+	// ScanAccessed tests and clears accessed bits for the mapping at
+	// base, returning whether it was accessed and the cores whose TLBs
+	// must be invalidated because a bit changed.
+	ScanAccessed(base sim.PageID) (accessed bool, targets []sim.CoreID)
+
+	// LockFor returns the virtual-time lock protecting updates to the
+	// mapping at base: a single address-space lock for regular tables,
+	// a per-page lock under PSPT.
+	LockFor(base sim.PageID) *sim.Resource
+
+	// Resident returns the number of live mappings.
+	Resident() int
+}
+
+// mappingInfo is the kernel's record of one resident mapping under
+// regular page tables (the OS knows what is mapped; it just cannot know
+// which cores cached the translation).
+type mappingInfo struct {
+	size sim.PageSize
+	pfn  int64
+}
+
+// sharedAS is the regular-page-table organization.
+type sharedAS struct {
+	cores   int
+	table   *pagetable.Table
+	maps    map[sim.PageID]mappingInfo
+	lock    sim.Resource
+	targets []sim.CoreID // reusable all-cores slice
+}
+
+func newSharedAS(cores int) *sharedAS {
+	s := &sharedAS{
+		cores: cores,
+		table: pagetable.New(),
+		maps:  make(map[sim.PageID]mappingInfo),
+	}
+	s.targets = make([]sim.CoreID, cores)
+	for i := range s.targets {
+		s.targets[i] = sim.CoreID(i)
+	}
+	return s
+}
+
+func (s *sharedAS) Lookup(_ sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
+	return s.table.Lookup(vpn)
+}
+
+func (s *sharedAS) ResolveSibling(sim.CoreID, sim.PageID, pagetable.PTE) (sim.PageID, bool) {
+	return 0, false // shared PTEs are visible to every core; no minor faults
+}
+
+func (s *sharedAS) Map(_ sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) error {
+	if _, ok := s.maps[base]; ok {
+		return fmt.Errorf("vm: double map of base %d", base)
+	}
+	switch size {
+	case sim.Size4k:
+		s.table.Set(base, pagetable.MakePTE(pfn, flags|pagetable.Present))
+	case sim.Size64k:
+		if err := s.table.Set64k(base, pfn, flags); err != nil {
+			return err
+		}
+	case sim.Size2M:
+		if err := s.table.Set2M(base, pagetable.MakePTE(pfn, flags)); err != nil {
+			return err
+		}
+	}
+	s.maps[base] = mappingInfo{size: size, pfn: pfn}
+	return nil
+}
+
+// find locates the mapping record covering vpn by probing each size
+// class's alignment.
+func (s *sharedAS) find(vpn sim.PageID) (sim.PageID, mappingInfo, bool) {
+	for _, sz := range []sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M} {
+		base := sz.Align(vpn)
+		if mi, ok := s.maps[base]; ok && vpn < base+mi.size.Span() {
+			return base, mi, true
+		}
+	}
+	return 0, mappingInfo{}, false
+}
+
+func (s *sharedAS) Unmap(vpn sim.PageID) (sim.PageID, sim.PageSize, int64, []sim.CoreID, bool) {
+	base, mi, ok := s.find(vpn)
+	if !ok {
+		return 0, 0, 0, nil, false
+	}
+	switch mi.size {
+	case sim.Size64k:
+		s.table.Clear64k(base)
+	case sim.Size2M:
+		s.table.Clear2M(base)
+	default:
+		s.table.Clear(base)
+	}
+	delete(s.maps, base)
+	// Centralized bookkeeping: the kernel cannot tell which cores have
+	// the translation cached, so the shootdown must broadcast.
+	return base, mi.size, mi.pfn, s.targets, true
+}
+
+func (s *sharedAS) Touch(_ sim.CoreID, vpn sim.PageID, write bool) {
+	_, size, ok := s.table.Lookup(vpn)
+	if !ok {
+		return
+	}
+	if size == sim.Size2M {
+		s.table.Update2M(vpn, func(e pagetable.PTE) pagetable.PTE {
+			e = e.With(pagetable.Accessed)
+			if write {
+				e = e.With(pagetable.Dirty)
+			}
+			return e
+		})
+		return
+	}
+	s.table.Touch64k(vpn, write)
+}
+
+func (s *sharedAS) CoreMapCount(sim.PageID) int { return -1 }
+
+func (s *sharedAS) ScanAccessed(base sim.PageID) (bool, []sim.CoreID) {
+	b, mi, ok := s.find(base)
+	if !ok {
+		return false, nil
+	}
+	accessed := false
+	switch mi.size {
+	case sim.Size2M:
+		s.table.Update2M(b, func(e pagetable.PTE) pagetable.PTE {
+			if e.Has(pagetable.Accessed) {
+				accessed = true
+				return e.Without(pagetable.Accessed)
+			}
+			return e
+		})
+	case sim.Size64k:
+		accessed, _ = s.table.Stat64k(b, true)
+	default:
+		s.table.Update(b, func(e pagetable.PTE) pagetable.PTE {
+			if e.Has(pagetable.Accessed) {
+				accessed = true
+				return e.Without(pagetable.Accessed)
+			}
+			return e
+		})
+	}
+	if !accessed {
+		return false, nil
+	}
+	return true, s.targets // cleared a bit: broadcast invalidation
+}
+
+func (s *sharedAS) LockFor(sim.PageID) *sim.Resource { return &s.lock }
+
+func (s *sharedAS) Resident() int { return len(s.maps) }
+
+// psptAS adapts pspt.PSPT to the addressSpace interface.
+type psptAS struct {
+	p       *pspt.PSPT
+	scratch []sim.CoreID
+	locks   map[sim.PageID]*sim.Resource
+}
+
+func newPSPTAS(cores int) *psptAS { return &psptAS{p: pspt.New(cores)} }
+
+func (a *psptAS) Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
+	return a.p.Lookup(core, vpn)
+}
+
+func (a *psptAS) ResolveSibling(core sim.CoreID, vpn sim.PageID, flags pagetable.PTE) (sim.PageID, bool) {
+	m, err := a.p.CopyFromSibling(core, vpn, flags)
+	if err != nil || m == nil {
+		return 0, false
+	}
+	return m.Base, true
+}
+
+func (a *psptAS) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) error {
+	_, _, err := a.p.Map(core, base, size, pfn, flags)
+	return err
+}
+
+func (a *psptAS) Unmap(vpn sim.PageID) (sim.PageID, sim.PageSize, int64, []sim.CoreID, bool) {
+	m, _ := a.p.Unmap(vpn)
+	if m == nil {
+		return 0, 0, 0, nil, false
+	}
+	a.scratch = m.Cores.Cores(a.scratch[:0])
+	return m.Base, m.Size, m.PFN, a.scratch, true
+}
+
+func (a *psptAS) Touch(core sim.CoreID, vpn sim.PageID, write bool) {
+	a.p.Touch(core, vpn, write)
+}
+
+func (a *psptAS) CoreMapCount(base sim.PageID) int { return a.p.CoreMapCount(base) }
+
+func (a *psptAS) ScanAccessed(base sim.PageID) (bool, []sim.CoreID) {
+	accessed, targets := a.p.ScanAccessed(base, a.scratch[:0])
+	a.scratch = targets
+	return accessed, targets
+}
+
+func (a *psptAS) LockFor(base sim.PageID) *sim.Resource {
+	m := a.p.Mapping(base)
+	if m != nil {
+		return &m.Lock
+	}
+	// Major fault on a not-yet-resident page: synchronize on the
+	// allocator-side lock table (per-base, persistent across residency).
+	return a.lockTable(base)
+}
+
+// lockTable keeps per-base locks alive across residency cycles so two
+// cores faulting the same absent page serialize correctly.
+func (a *psptAS) lockTable(base sim.PageID) *sim.Resource {
+	if a.locks == nil {
+		a.locks = make(map[sim.PageID]*sim.Resource)
+	}
+	l, ok := a.locks[base]
+	if !ok {
+		l = &sim.Resource{}
+		a.locks[base] = l
+	}
+	return l
+}
+
+func (a *psptAS) Resident() int { return a.p.ResidentMappings() }
+
+// PSPT exposes the underlying PSPT for experiments (Figure 6 reads the
+// sharing histogram directly from the per-core tables).
+func (a *psptAS) PSPT() *pspt.PSPT { return a.p }

@@ -1,0 +1,510 @@
+package vm
+
+import (
+	"fmt"
+
+	"cmcp/internal/mem"
+	"cmcp/internal/pagetable"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/tlb"
+)
+
+// FaultObserver is an optional extension a policy may implement to
+// receive major-fault notifications (CMCP's dynamic-p tuner uses it).
+type FaultObserver interface {
+	NoteFault()
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Cores is the number of application cores.
+	Cores int
+	// Frames is the device memory size in 4 kB frames. This is the
+	// memory-constraint knob of the experiments.
+	Frames int
+	// PageSize is the mapping granularity of the computation area.
+	PageSize sim.PageSize
+	// Tables selects regular shared page tables or PSPT.
+	Tables TableKind
+	// TLB is the per-core TLB geometry; zero value means defaults.
+	TLB tlb.Config
+	// Cost is the cycle-cost model; zero value means defaults.
+	Cost sim.CostModel
+	// Verify enables page-content integrity checking across swap
+	// cycles (tests; small overhead).
+	Verify bool
+	// Adaptive enables dynamic per-region page-size selection driven by
+	// block fault frequency (the paper's §5.7 future work). PageSize is
+	// ignored for the computation area; each fault picks 4 kB, 64 kB or
+	// 2 MB per 2 MB block.
+	Adaptive bool
+	// PSPTRebuildPeriod, when non-zero, periodically drops all private
+	// PTEs so the sharing picture (and CMCP's core-map counts) re-form
+	// from the current access pattern — the paper's §5.6 answer to
+	// workloads whose inter-core sharing drifts over time. PSPT only.
+	PSPTRebuildPeriod sim.Cycles
+}
+
+// PolicyFactory builds the replacement policy against the kernel-side
+// Host interface (the Manager itself).
+type PolicyFactory func(policy.Host) policy.Policy
+
+// Manager is the simulated kernel's VM subsystem for one address space:
+// it executes page touches, handles faults, runs evictions with TLB
+// shootdowns, moves pages over the PCIe model, and exposes the
+// policy.Host interface to the replacement policy.
+type Manager struct {
+	cfg  Config
+	cost sim.CostModel
+	as   addressSpace
+	tlbs []*tlb.TLB
+	dev  *mem.Device
+	host *mem.Host
+	pol  policy.Policy
+	run  *stats.Run
+
+	scanner     sim.CoreID
+	debt        []sim.Cycles // pending IPI-interrupt cycles per app core
+	scanCost    sim.Cycles   // accumulated scanner-side cost since TakeScanCost
+	nextRebuild sim.Cycles
+
+	allocLock sim.Resource
+	dmaBus    sim.Resource // serializes PCIe wire time (latency overlaps)
+
+	writeSeq uint64
+	verify   map[sim.PageID]mem.Signature
+	faultObs FaultObserver
+	adapter  *sizeAdapter
+}
+
+// NewManager builds the VM subsystem and its policy.
+func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("vm: %d cores", cfg.Cores)
+	}
+	if cfg.Frames < int(cfg.PageSize.Span()) {
+		return nil, fmt.Errorf("vm: %d frames cannot hold one %v mapping", cfg.Frames, cfg.PageSize)
+	}
+	if cfg.TLB == (tlb.Config{}) {
+		cfg.TLB = tlb.DefaultConfig()
+	}
+	if cfg.Cost == (sim.CostModel{}) {
+		cfg.Cost = sim.DefaultCostModel()
+	}
+	m := &Manager{
+		cfg:     cfg,
+		cost:    cfg.Cost,
+		dev:     mem.NewDevice(cfg.Frames),
+		host:    mem.NewHost(),
+		run:     stats.NewRun(cfg.Cores),
+		scanner: sim.ScannerCore(cfg.Cores),
+		debt:    make([]sim.Cycles, cfg.Cores),
+	}
+	if cfg.Tables == PSPTKind {
+		m.as = newPSPTAS(cfg.Cores)
+	} else {
+		m.as = newSharedAS(cfg.Cores)
+	}
+	m.tlbs = make([]*tlb.TLB, cfg.Cores)
+	for i := range m.tlbs {
+		m.tlbs[i] = tlb.New(cfg.TLB)
+	}
+	if cfg.Verify {
+		m.verify = make(map[sim.PageID]mem.Signature)
+	}
+	if cfg.Adaptive {
+		m.adapter = newSizeAdapter()
+	}
+	m.pol = factory(m)
+	if obs, ok := m.pol.(FaultObserver); ok {
+		m.faultObs = obs
+	}
+	return m, nil
+}
+
+// Run returns the measurement record.
+func (m *Manager) Run() *stats.Run { return m.run }
+
+// Policy returns the replacement policy instance.
+func (m *Manager) Policy() policy.Policy { return m.pol }
+
+// Resident returns the number of resident mappings.
+func (m *Manager) Resident() int { return m.as.Resident() }
+
+// Host returns the backing store (tests inspect write-back contents).
+func (m *Manager) Host() *mem.Host { return m.host }
+
+// Device returns the device memory (tests inspect frames).
+func (m *Manager) Device() *mem.Device { return m.dev }
+
+// SharingHistogram returns PSPT's pages-per-core-map-count histogram
+// (Figure 6). ok is false under regular page tables.
+func (m *Manager) SharingHistogram() ([]int, bool) {
+	if a, ok := m.as.(*psptAS); ok {
+		return a.PSPT().SharingHistogram(), true
+	}
+	return nil, false
+}
+
+// TakeDebt drains and returns the pending interrupt cycles of core —
+// the time the core will spend servicing invalidation IPIs it received
+// since it last ran. The event engine adds it to the core's clock.
+func (m *Manager) TakeDebt(core sim.CoreID) sim.Cycles {
+	d := m.debt[core]
+	m.debt[core] = 0
+	return d
+}
+
+// TakeScanCost drains the accumulated scanner-side cost (PTE scans and
+// shootdown initiation performed inside policy.Tick via ScanAccessed).
+func (m *Manager) TakeScanCost() sim.Cycles {
+	c := m.scanCost
+	m.scanCost = 0
+	return c
+}
+
+// Tick runs the policy's periodic machinery at virtual time now and
+// returns the scanner-side cost it incurred.
+func (m *Manager) Tick(now sim.Cycles) sim.Cycles {
+	m.pol.Tick(now)
+	if m.adapter != nil {
+		m.adapter.tick(now)
+	}
+	m.maybeRebuildPSPT(now)
+	return m.TakeScanCost()
+}
+
+// maybeRebuildPSPT periodically drops all private PTEs (PSPT only) so
+// the sharing picture re-forms; see Config.PSPTRebuildPeriod. Dropping
+// a PTE invalidates the owning core's cached translation, so each
+// previously-mapping core takes an asynchronous invalidation IPI.
+func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
+	if m.cfg.PSPTRebuildPeriod == 0 || now < m.nextRebuild {
+		return
+	}
+	m.nextRebuild = now + m.cfg.PSPTRebuildPeriod
+	a, ok := m.as.(*psptAS)
+	if !ok {
+		return
+	}
+	// A rebuild is a planned, batched sweep: each core receives ONE
+	// interrupt per rebuild carrying its whole invalidation list (one
+	// INVLPG per dropped page), not one IPI per page — that is what
+	// makes periodic rebuilding affordable at all.
+	perCore := make(map[sim.CoreID]uint64)
+	a.PSPT().Rebuild(func(base sim.PageID, targets []sim.CoreID) {
+		m.scanCost += m.cost.ScanPTE
+		for _, tc := range targets {
+			m.tlbs[tc].Invalidate(base)
+			perCore[tc]++
+			m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
+		}
+	})
+	for tc, pages := range perCore {
+		m.debt[tc] += m.cost.IPIInterrupt + sim.Cycles(pages)*m.cost.InvlpgLocal
+		m.run.Add(m.scanner, stats.IPIsSent, 1)
+		m.scanCost += m.cost.ScanIPIPerTarget
+	}
+}
+
+// CoreMapCount implements policy.Host.
+func (m *Manager) CoreMapCount(base sim.PageID) int { return m.as.CoreMapCount(base) }
+
+// ScanAccessed implements policy.Host: the access-bit statistics pass.
+// The scan itself runs on the dedicated scanner pseudo-core, but every
+// cleared bit forces invalidation IPIs into the application cores —
+// the cost that Table 1 exposes and that CMCP avoids entirely.
+//
+// Cost attribution: the (small) initiator-side scan cost accumulates on
+// the scanner lane even when a policy scans from the eviction path
+// (CLOCK's second-chance sweep). The dominant costs — the target-side
+// interrupts — are charged to the right cores either way, matching the
+// paper's setup of dedicating hyperthreads to statistics collection.
+func (m *Manager) ScanAccessed(base sim.PageID) bool {
+	// Scanning a 64 kB group iterates its 16 sub-entries (§4).
+	ptes := sim.Cycles(1)
+	if _, size, ok := m.lookupAny(base); ok && size == sim.Size64k {
+		ptes = sim.Span64k
+	}
+	m.scanCost += ptes * m.cost.ScanPTE
+	accessed, targets := m.as.ScanAccessed(base)
+	if accessed {
+		m.run.Add(m.scanner, stats.ScanClears, 1)
+	}
+	remote := 0
+	for _, tc := range targets {
+		m.tlbs[tc].Invalidate(base)
+		m.debt[tc] += m.cost.IPIInterrupt
+		m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
+		remote++
+	}
+	if remote > 0 {
+		m.run.Add(m.scanner, stats.IPIsSent, uint64(remote))
+		// Asynchronous fire-and-forget IPIs: enqueue cost only.
+		m.scanCost += m.cost.IPISend + sim.Cycles(remote)*m.cost.ScanIPIPerTarget
+	}
+	return accessed
+}
+
+// lookupAny resolves vpn through any core's view (bookkeeping only).
+func (m *Manager) lookupAny(vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
+	if a, ok := m.as.(*psptAS); ok {
+		mp := a.PSPT().Mapping(vpn)
+		if mp == nil {
+			return 0, 0, false
+		}
+		cores := mp.Cores.Cores(nil)
+		if len(cores) == 0 {
+			return 0, 0, false
+		}
+		return m.as.Lookup(cores[0], vpn)
+	}
+	return m.as.Lookup(0, vpn)
+}
+
+// Access executes one page touch by core at virtual time now and
+// returns the core's finishing time. This is the hardware+kernel
+// access path: TLB lookup, page walk on miss, fault handling when the
+// translation is absent, then the touch's amortized compute.
+func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cycles) sim.Cycles {
+	m.run.Add(core, stats.Touches, 1)
+	t := now
+	switch m.tlbs[core].Lookup(vpn) {
+	case tlb.HitL1:
+		// Translation cached: no kernel involvement.
+	case tlb.HitL2:
+		m.run.Add(core, stats.DTLBMisses, 1)
+		m.run.Add(core, stats.TLBL2Hits, 1)
+		t += m.cost.TLBL2Hit
+	case tlb.Miss:
+		m.run.Add(core, stats.DTLBMisses, 1)
+		m.run.Add(core, stats.PageWalks, 1)
+		t += m.cost.PageWalk
+		if _, size, ok := m.as.Lookup(core, vpn); ok {
+			m.tlbs[core].Insert(vpn, size)
+		} else {
+			t = m.fault(core, vpn, t)
+		}
+	}
+	m.touchBookkeeping(core, vpn, write)
+	return t + m.cost.TouchCompute
+}
+
+// touchBookkeeping simulates the MMU attribute updates and the data
+// write for one touch (zero cost: included in TouchCompute).
+func (m *Manager) touchBookkeeping(core sim.CoreID, vpn sim.PageID, write bool) {
+	m.as.Touch(core, vpn, write)
+	if !write {
+		return
+	}
+	if f, ok := m.frameOf(core, vpn); ok {
+		m.writeSeq++
+		m.dev.Write(f, core, m.writeSeq)
+	}
+}
+
+// frameOf resolves the device frame backing vpn in core's view.
+func (m *Manager) frameOf(core sim.CoreID, vpn sim.PageID) (sim.FrameID, bool) {
+	pte, size, ok := m.as.Lookup(core, vpn)
+	if !ok {
+		return 0, false
+	}
+	switch size {
+	case sim.Size2M:
+		return sim.FrameID(pte.PFN() + int64(vpn-sim.Size2M.Align(vpn))), true
+	default: // 4k; 64k member PTEs carry the member frame directly
+		return sim.FrameID(pte.PFN()), true
+	}
+}
+
+// fault handles a translation fault by core for vpn starting at virtual
+// time t and returns the completion time.
+func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycles {
+	t += m.cost.FaultEntry
+
+	// PSPT minor fault: some sibling core already maps the page; copy
+	// its PTE under the per-page lock.
+	if base, ok := m.as.ResolveSibling(core, vpn, pagetable.Writable); ok {
+		m.run.Add(core, stats.MinorFaults, 1)
+		t += m.cost.PSPTConsult
+		done, waited := m.as.LockFor(base).Acquire(t, m.cost.LockBase)
+		m.run.Add(core, stats.LockWaitCycles, uint64(waited))
+		t = done
+		m.pol.PTESetup(base)
+		if _, size, ok := m.as.Lookup(core, vpn); ok {
+			m.tlbs[core].Insert(vpn, size)
+		}
+		return t
+	}
+
+	// Major fault: the page lives in host memory. The handling cost
+	// has three serialization points: the short global allocator lock,
+	// the PCIe wire time (transfers stream but share the link), and the
+	// page-table lock for the PTE update — address-space wide under
+	// regular tables, per-page under PSPT. What actually breaks regular
+	// tables at scale is not lock hold time but the shootdown
+	// broadcast inside service/evict: every eviction interrupts every
+	// core, so the per-core interrupt load grows linearly with the core
+	// count (and the initiator's IPI loop does too).
+	m.run.Add(core, stats.PageFaults, 1)
+	if m.faultObs != nil {
+		m.faultObs.NoteFault()
+	}
+	size := m.cfg.PageSize
+	if m.adapter != nil {
+		size = m.adapter.choose(vpn)
+		for size.Span() > sim.PageID(m.cfg.Frames) {
+			size-- // device too small for this granularity
+		}
+		if size == sim.Size2M && m.dev.FreeFrames() < sim.Span2M {
+			// Carving a 512-frame aligned hole out of live mappings is
+			// a compaction storm; fall back to the middle size.
+			size = sim.Size64k
+		}
+	}
+	base := size.Align(vpn)
+	span := int(size.Span())
+
+	done, waited := m.allocLock.Acquire(t, m.cost.AllocLock)
+	m.run.Add(core, stats.LockWaitCycles, uint64(waited))
+	t = done
+	work, wire := m.service(core, vpn, base, size, span)
+	t += work
+	if wire > 0 {
+		busDone, busWaited := m.dmaBus.Acquire(t, wire)
+		m.run.Add(core, stats.LockWaitCycles, uint64(busWaited))
+		t = busDone + m.dmaLatencyFor(wire)
+	}
+	done, waited = m.as.LockFor(base).Acquire(t, m.cost.LockBase)
+	m.run.Add(core, stats.LockWaitCycles, uint64(waited))
+	return done
+}
+
+// dmaLatencyFor returns the fixed PCIe setup latency when any bytes
+// moved (a combined write-back+page-in pays it once per direction; we
+// approximate with a single latency per fault).
+func (m *Manager) dmaLatencyFor(wire sim.Cycles) sim.Cycles {
+	if wire == 0 {
+		return 0
+	}
+	return m.cost.DMALatency
+}
+
+// service performs the state mutations of a major fault — allocate
+// (evicting as needed), page-in, map, policy bookkeeping, TLB install —
+// and returns the CPU work it cost plus the PCIe wire time consumed.
+func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSize, span int) (work, wire sim.Cycles) {
+	work = m.cost.FaultService
+
+	frame, evWork, evBytes := m.allocFrames(core, base, span)
+	work += evWork
+	bytes := evBytes
+
+	// Page-in from the host backing store.
+	for i := 0; i < span; i++ {
+		v := base + sim.PageID(i)
+		sig := m.host.PageIn(v)
+		if m.verify != nil {
+			if want, ok := m.verify[v]; ok && want != sig {
+				panic(fmt.Sprintf("vm: content corruption on page %d: got %x want %x", v, sig, want))
+			}
+		}
+		m.dev.SetSignature(frame+sim.FrameID(i), sig)
+	}
+	m.run.Add(core, stats.BytesIn, uint64(size.Bytes()))
+	bytes += size.Bytes()
+
+	if err := m.as.Map(core, base, size, int64(frame), pagetable.Writable); err != nil {
+		panic(fmt.Sprintf("vm: map failed: %v", err))
+	}
+	if m.adapter != nil {
+		m.adapter.mapped(base, size)
+	}
+	m.pol.PTESetup(base)
+	m.tlbs[core].Insert(vpn, size)
+
+	wire = sim.Cycles(float64(bytes) / m.cost.DMABytesPerCycle)
+	return work, wire
+}
+
+// allocFrames obtains span naturally aligned contiguous frames,
+// evicting victims until the allocation succeeds.
+func (m *Manager) allocFrames(core sim.CoreID, base sim.PageID, span int) (sim.FrameID, sim.Cycles, int64) {
+	var work sim.Cycles
+	var bytes int64
+	for {
+		f, err := m.dev.AllocRange(base, span)
+		if err == nil {
+			return f, work, bytes
+		}
+		vbase, ok := m.pol.Victim()
+		if !ok {
+			panic(fmt.Sprintf("vm: out of frames with no victim (span %d, free %d)", span, m.dev.FreeFrames()))
+		}
+		w, b := m.evict(core, vbase)
+		work += w
+		bytes += b
+	}
+}
+
+// evict unmaps the victim mapping at vbase, shoots down the TLBs of the
+// affected cores, writes dirty content back and frees the frames. It
+// returns the evictor-side CPU work and the write-back byte count.
+func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64) {
+	base, size, pfn, targets, ok := m.as.Unmap(vbase)
+	if !ok {
+		panic(fmt.Sprintf("vm: victim %d not resident", vbase))
+	}
+	m.run.Add(core, stats.Evictions, 1)
+	if m.adapter != nil {
+		m.adapter.unmapped(base, size)
+	}
+
+	var work sim.Cycles
+	remote := 0
+	for _, tc := range targets {
+		if tc == core {
+			m.tlbs[core].Invalidate(base)
+			work += m.cost.InvlpgLocal
+			continue
+		}
+		m.tlbs[tc].Invalidate(base)
+		m.debt[tc] += m.cost.IPIInterrupt
+		m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
+		// Delivery rides the bidirectional ring: distant targets cost
+		// the initiating core more.
+		work += m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
+		remote++
+	}
+	if remote > 0 {
+		m.run.Add(core, stats.IPIsSent, uint64(remote))
+		work += m.cost.IPISend
+	}
+
+	span := int(size.Span())
+	dirty := false
+	for i := 0; i < span; i++ {
+		f := sim.FrameID(pfn + int64(i))
+		v := base + sim.PageID(i)
+		if m.dev.Dirty(f) {
+			dirty = true
+			m.host.PageOut(v, m.dev.Signature(f))
+		}
+		if m.verify != nil {
+			// The frame signature is authoritative at eviction time:
+			// page-in restored the host content into it and every
+			// simulated store mixed into it since.
+			m.verify[v] = m.dev.Signature(f)
+		}
+		m.dev.Free(f)
+	}
+	var bytes int64
+	if dirty {
+		m.run.Add(core, stats.WriteBacks, 1)
+		m.run.Add(core, stats.BytesOut, uint64(size.Bytes()))
+		bytes = size.Bytes()
+	}
+	return work, bytes
+}

@@ -1,0 +1,182 @@
+package workload
+
+// This file instantiates the paper's four applications as Specs. The
+// sharing profiles follow Figure 6; hot-set fractions follow the
+// turning points of Figure 8 (CG ~35 %, SCALE ~55 %, BT/LU immediate
+// degradation ⇒ hot set ≈ the whole footprint); the access skew is set
+// so the LRU/FIFO/CMCP fault-count ordering of Table 1 emerges.
+//
+// Class B footprints are scaled down ~16x from the real benchmarks
+// (and class C ~2.5x over B) so a full experiment sweep runs in
+// seconds; the *ratios* that drive every result — memory constraint,
+// hot fraction, sharing profile, touches per page — are preserved.
+
+// Scale multiplies a spec's footprint and work for quick test runs
+// (scale < 1) or higher-fidelity runs (scale > 1).
+func (s Spec) Scale(f float64) Spec {
+	s.Pages = int(float64(s.Pages) * f)
+	if s.Pages < 64 {
+		s.Pages = 64
+	}
+	s.TotalTouches = int(float64(s.TotalTouches) * f)
+	if s.TotalTouches < 1024 {
+		s.TotalTouches = 1024
+	}
+	s.HotStripe = int(float64(s.hotStripe()) * f)
+	if s.HotStripe < 1 {
+		s.HotStripe = 1
+	}
+	return s
+}
+
+// CG models NAS Conjugate Gradient: the sparse matrix rows are
+// partitioned per core (private, mostly cold — sparse data touched once
+// per iteration), while the input/output vector segments are shared by
+// adjacent partitions through the matrix band structure. Over half the
+// pages are core-private and nearly all the rest are shared by two
+// cores (Fig. 6a); the hot set — vectors plus the densest rows — is
+// ~35 % of the footprint (Fig. 8).
+func CG() Spec {
+	return Spec{
+		Name:         "cg.B",
+		Pages:        16384, // 64 MB at 4 kB
+		TotalTouches: 3_500_000,
+		WriteFrac:    0.25,
+		Sharing: []ShareBand{
+			{Cores: 3, Frac: 0.08, HotFrac: 1.0},  // vector segments: small, all hot
+			{Cores: 2, Frac: 0.37, HotFrac: 0.15}, // matrix band overlaps: mostly cold
+			{Cores: 1, Frac: 0.55},                // private sparse rows
+		},
+		HotSkew:        2.5,
+		SeqP:           0.65,
+		PrivateHotFrac: 0.45,
+		HotQ:           0.985,
+	}
+}
+
+// LU models NAS Lower-Upper Gauss-Seidel: the wavefront sweep couples
+// each core's block with several neighbours, so sharing extends to ~6
+// cores with the majority of pages mapped by at most three (Fig. 6b).
+// The whole footprint is swept every iteration, so performance degrades
+// as soon as memory is constrained (Fig. 8), with enough skew toward
+// the wavefront boundary data for LRU to cut faults (Table 1).
+func LU() Spec {
+	return Spec{
+		Name:         "lu.B",
+		Pages:        14336, // 56 MB
+		TotalTouches: 3_200_000,
+		WriteFrac:    0.35,
+		Sharing: []ShareBand{
+			{Cores: 7, Frac: 0.02},
+			{Cores: 6, Frac: 0.04},
+			{Cores: 5, Frac: 0.06},
+			{Cores: 4, Frac: 0.10},
+			{Cores: 3, Frac: 0.18},
+			{Cores: 2, Frac: 0.28},
+			{Cores: 1, Frac: 0.32},
+		},
+		HotSkew:        2.5,
+		SeqP:           0.60,
+		SharedHotFrac:  1.0,
+		PrivateHotFrac: 0.75,
+		HotQ:           0.80,
+	}
+}
+
+// BT models NAS Block Tridiagonal: solves along three dimensions couple
+// blocks with neighbours in each direction, giving the broadest sharing
+// profile of the four (up to ~8 cores, majority under six — Fig. 6c)
+// and immediate degradation under memory constraint (Fig. 8).
+func BT() Spec {
+	return Spec{
+		Name:         "bt.B",
+		Pages:        20480, // 80 MB
+		TotalTouches: 3_800_000,
+		WriteFrac:    0.40,
+		Sharing: []ShareBand{
+			{Cores: 8, Frac: 0.02},
+			{Cores: 7, Frac: 0.03},
+			{Cores: 6, Frac: 0.05},
+			{Cores: 5, Frac: 0.08},
+			{Cores: 4, Frac: 0.12},
+			{Cores: 3, Frac: 0.16},
+			{Cores: 2, Frac: 0.24},
+			{Cores: 1, Frac: 0.30},
+		},
+		HotSkew:        3.5,
+		SeqP:           0.60,
+		SharedHotFrac:  1.0,
+		PrivateHotFrac: 0.80,
+		HotQ:           0.78,
+	}
+}
+
+// SCALE models RIKEN's climate stencil: multiple 2-D grids partitioned
+// in blocks per core; interiors are private, halo rows are shared by
+// exactly two neighbours (Fig. 6d: >50 % private, remainder almost all
+// 2-core). The hot set — the active grids of the current time step —
+// is ~55 % of the footprint (Fig. 8).
+func SCALE() Spec {
+	return Spec{
+		Name:         "SCALE",
+		Pages:        18432, // 72 MB ~ the paper's 512 MB "sml" scaled
+		TotalTouches: 3_600_000,
+		WriteFrac:    0.45,
+		Sharing: []ShareBand{
+			{Cores: 3, Frac: 0.03},
+			{Cores: 2, Frac: 0.45},
+			{Cores: 1, Frac: 0.52},
+		},
+		HotSkew:        2.0,
+		SeqP:           0.70,
+		SharedHotFrac:  0.80,
+		PrivateHotFrac: 0.38,
+		HotQ:           0.99,
+	}
+}
+
+// Apps returns the paper's four workloads in presentation order.
+func Apps() []Spec { return []Spec{BT(), LU(), CG(), SCALE()} }
+
+// ByName returns the spec with the given Name, matching the names used
+// in experiment output (bt.B, lu.B, cg.B, SCALE).
+func ByName(name string) (Spec, bool) {
+	for _, s := range Apps() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Private is a test workload where every page is core-private.
+func Private(pages, touches int) Spec {
+	return Spec{
+		Name: "private", Pages: pages, TotalTouches: touches,
+		WriteFrac: 0.3,
+		Sharing:   []ShareBand{{Cores: 1, Frac: 1}},
+		HotQ:      0.5, PrivateHotFrac: 0.5,
+	}
+}
+
+// SharedAll is a test workload where every page is shared by all cores
+// (worst case for shootdowns even under PSPT).
+func SharedAll(pages, touches, cores int) Spec {
+	return Spec{
+		Name: "sharedall", Pages: pages, TotalTouches: touches,
+		WriteFrac: 0.3,
+		Sharing:   []ShareBand{{Cores: cores, Frac: 1}},
+		HotQ:      0.5, SharedHotFrac: 0.5,
+	}
+}
+
+// Uniform is a test workload with a flat access distribution over
+// private pages (no hot set: every policy behaves alike).
+func Uniform(pages, touches int) Spec {
+	return Spec{
+		Name: "uniform", Pages: pages, TotalTouches: touches,
+		WriteFrac: 0.3,
+		Sharing:   []ShareBand{{Cores: 1, Frac: 1}},
+		HotQ:      0, PrivateHotFrac: 0,
+	}
+}

@@ -1,0 +1,416 @@
+// Package workload synthesizes the per-core memory access streams of
+// the paper's applications: NPB CG, LU and BT (OpenMP, strong scaling)
+// and RIKEN's SCALE climate stencil.
+//
+// A Go library cannot run the Fortran originals on a Xeon Phi, and the
+// replacement policies never see source code anyway — they observe
+// page-level access streams. Each workload is therefore specified by
+// the observables the paper reports:
+//
+//   - the page-sharing profile: what fraction of computation-area pages
+//     is mapped by how many cores (Figure 6);
+//   - the hot-set fraction: how much memory captures most accesses,
+//     which sets where performance starts dropping under memory
+//     constraint (Figure 8: CG ~35 %, SCALE ~55 %, BT/LU immediate);
+//   - the access skew that lets LRU reduce page faults below FIFO
+//     (Table 1) and makes shared pages valuable to retain (CMCP's win).
+//
+// Streams are deterministic: the same (spec, cores, seed) triple yields
+// bit-identical sequences, independent of scheduling.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cmcp/internal/sim"
+)
+
+// Access is one simulated page touch.
+type Access struct {
+	VPN   sim.PageID
+	Write bool
+}
+
+// Stream yields one core's access sequence.
+type Stream interface {
+	// Next returns the next access; ok is false when the stream ends.
+	Next() (a Access, ok bool)
+	// Len returns the total number of accesses the stream will yield.
+	Len() int
+}
+
+// ShareBand declares that Frac of the computation-area pages are each
+// mapped by exactly Cores (adjacent) cores. HotFrac, when positive,
+// overrides the spec-level SharedHotFrac/PrivateHotFrac for this band —
+// used when heat correlates with sharing degree (e.g. CG's all-core
+// vector segments are far hotter than its two-core matrix overlaps).
+type ShareBand struct {
+	Cores   int
+	Frac    float64
+	HotFrac float64
+}
+
+// Spec is the parametric description of a workload.
+type Spec struct {
+	// Name labels experiment output (e.g. "cg.B").
+	Name string
+	// Pages is the computation-area size in 4 kB pages.
+	Pages int
+	// TotalTouches is the aggregate access count across all cores
+	// (strong scaling: per-core work shrinks as cores grow).
+	TotalTouches int
+	// WriteFrac is the probability a touch is a store.
+	WriteFrac float64
+	// Sharing is the page-sharing profile; fractions must sum to ~1.
+	// Band k=1 is per-core private data.
+	Sharing []ShareBand
+	// SharedHotFrac is the fraction of shared pages in the hot set.
+	SharedHotFrac float64
+	// PrivateHotFrac is the fraction of private pages in the hot set.
+	PrivateHotFrac float64
+	// HotQ is the probability a touch lands in the hot set.
+	HotQ float64
+	// Burst is the number of consecutive touches a core issues to a
+	// selected page before picking the next one (intra-page reuse: a
+	// 4 kB page holds 512 doubles, so a sweep touches it many times
+	// while it is resident). Zero means DefaultBurst.
+	Burst int
+	// SeqP is the probability that the next page selection continues
+	// sequentially (the next page of the core's own population)
+	// instead of drawing randomly — the streaming component of HPC
+	// sweeps. Sequential runs are what large mappings prefetch for:
+	// one 64 kB fault brings the next 15 pages of a walk.
+	SeqP float64
+	// PhaseShift, when true, changes the inter-core sharing pattern
+	// halfway through each core's stream: cores switch to the pools of
+	// the core (id + Cores/2) mod Cores. The page-sharing profile stays
+	// identical but WHICH cores map each page drifts — the scenario the
+	// paper's §5.6 notes would need periodic PSPT rebuilding, since
+	// stale core-map counts stop reflecting reality.
+	PhaseShift bool
+	// HotStripe is the spatial clustering granularity of the hot set,
+	// in contiguous base pages: heat is decided per stripe rather than
+	// per page, reflecting that HPC arrays have spatially clustered hot
+	// regions. This is what gives large mappings (64 kB / 2 MB) regions
+	// that are wholly hot or wholly cold; with per-page interleaving a
+	// large page would always contain hot data and any memory
+	// constraint would thrash. Zero means DefaultHotStripe.
+	HotStripe int
+	// HotSkew grades popularity inside the hot pool: a draw picks hot
+	// index floor(n*u^HotSkew) for uniform u, so with skew > 1 the
+	// front of the pool (the most-shared pages, since Build lays bands
+	// out in spec order) is touched far more often than the back. This
+	// is the within-working-set reuse gradient that lets LRU cut page
+	// faults below FIFO (Table 1) and makes the most-shared pages the
+	// most valuable to retain. Zero or one means uniform.
+	HotSkew float64
+}
+
+// DefaultBurst is the intra-page reuse factor used when Spec.Burst is
+// zero.
+const DefaultBurst = 8
+
+// DefaultHotStripe is the hot-set spatial clustering granularity used
+// when Spec.HotStripe is zero: 128 pages = 512 kB.
+const DefaultHotStripe = 128
+
+// Validate reports structural problems in the spec.
+func (s Spec) Validate() error {
+	if s.Pages <= 0 || s.TotalTouches <= 0 {
+		return fmt.Errorf("workload %s: pages/touches must be positive", s.Name)
+	}
+	var sum float64
+	for _, b := range s.Sharing {
+		if b.Cores < 1 {
+			return fmt.Errorf("workload %s: band with %d cores", s.Name, b.Cores)
+		}
+		if b.Frac < 0 {
+			return fmt.Errorf("workload %s: negative band fraction", s.Name)
+		}
+		if b.HotFrac < 0 || b.HotFrac > 1 {
+			return fmt.Errorf("workload %s: band hot fraction %v out of range", s.Name, b.HotFrac)
+		}
+		sum += b.Frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload %s: band fractions sum to %v", s.Name, sum)
+	}
+	for _, f := range []float64{s.WriteFrac, s.SharedHotFrac, s.PrivateHotFrac, s.HotQ, s.SeqP} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload %s: probability %v out of range", s.Name, f)
+		}
+	}
+	if s.Burst < 0 {
+		return fmt.Errorf("workload %s: negative burst %d", s.Name, s.Burst)
+	}
+	if s.HotSkew < 0 {
+		return fmt.Errorf("workload %s: negative hot skew %v", s.Name, s.HotSkew)
+	}
+	if s.HotStripe < 0 {
+		return fmt.Errorf("workload %s: negative hot stripe %d", s.Name, s.HotStripe)
+	}
+	return nil
+}
+
+// hotStripe returns the effective hot clustering granularity.
+func (s Spec) hotStripe() int {
+	if s.HotStripe <= 0 {
+		return DefaultHotStripe
+	}
+	return s.HotStripe
+}
+
+// burst returns the effective intra-page reuse factor.
+func (s Spec) burst() int {
+	if s.Burst <= 0 {
+		return DefaultBurst
+	}
+	return s.Burst
+}
+
+// HotFraction returns the expected fraction of pages in the hot set —
+// the memory ratio below which performance should start dropping.
+func (s Spec) HotFraction() float64 {
+	var hot float64
+	for _, b := range s.Sharing {
+		f := s.SharedHotFrac
+		if b.Cores == 1 {
+			f = s.PrivateHotFrac
+		}
+		if b.HotFrac > 0 {
+			f = b.HotFrac
+		}
+		hot += b.Frac * f
+	}
+	return hot
+}
+
+// Build lays out the computation area for the given core count and
+// returns the per-core populations. Pages are dealt band by band:
+// private pages are split evenly among cores; a band shared by k cores
+// is divided into groups, each assigned to k adjacent cores (halo-style
+// neighbour sharing, matching the stencil/NPB patterns in Fig. 6).
+func (s Spec) Build(cores int) (*Layout, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("workload %s: %d cores", s.Name, cores)
+	}
+	l := &Layout{
+		Spec:  s,
+		Cores: cores,
+		hot:   make([][]sim.PageID, cores),
+		cold:  make([][]sim.PageID, cores),
+	}
+	next := sim.PageID(0)
+	// Deterministic striping of hot/cold within each band: every
+	// 1/hotFrac-th page is hot.
+	for _, b := range s.Sharing {
+		bandPages := int(float64(s.Pages)*b.Frac + 0.5)
+		hotFrac := s.SharedHotFrac
+		if b.Cores == 1 {
+			hotFrac = s.PrivateHotFrac
+		}
+		if b.HotFrac > 0 {
+			hotFrac = b.HotFrac
+		}
+		k := b.Cores
+		if k > cores {
+			k = cores // cannot share among more cores than exist
+		}
+		stripe := s.hotStripe()
+		for i := 0; i < bandPages; i++ {
+			page := next
+			next++
+			// Deterministic striping at HotStripe granularity: stripe b
+			// is hot iff the running quota floor(hotFrac*(b+1)) advances
+			// at b, which marks a hotFrac share of the band's stripes
+			// (and hence pages) as hot while keeping heat spatially
+			// clustered for the large-page experiments.
+			b := float64(i / stripe)
+			isHot := int(hotFrac*(b+1)) > int(hotFrac*b)
+			// Owner group: k adjacent cores, rotating start so groups
+			// spread evenly.
+			start := (i * cores / maxInt(bandPages, 1)) % cores
+			for j := 0; j < k; j++ {
+				c := (start + j) % cores
+				if isHot {
+					l.hot[c] = append(l.hot[c], page)
+				} else {
+					l.cold[c] = append(l.cold[c], page)
+				}
+			}
+		}
+	}
+	l.TotalPages = int(next)
+	return l, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Layout is the materialized per-core page populations of a workload at
+// a given core count.
+type Layout struct {
+	Spec       Spec
+	Cores      int
+	TotalPages int
+	hot, cold  [][]sim.PageID
+}
+
+// HotPages returns core's hot population (shared halos + hot private).
+func (l *Layout) HotPages(core int) []sim.PageID { return l.hot[core] }
+
+// ColdPages returns core's cold population.
+func (l *Layout) ColdPages(core int) []sim.PageID { return l.cold[core] }
+
+// Streams creates the per-core access streams for this layout. Each
+// core draws TotalTouches/Cores accesses: with probability HotQ a
+// uniform hot page, otherwise a uniform cold page; each touch is a
+// store with probability WriteFrac.
+func (l *Layout) Streams(seed uint64) []Stream {
+	streams := make([]Stream, l.Cores)
+	perCore := l.Spec.TotalTouches / l.Cores
+	if perCore < 1 {
+		perCore = 1
+	}
+	root := sim.NewRNG(seed)
+	for c := 0; c < l.Cores; c++ {
+		hot2, cold2 := l.hot[c], l.cold[c]
+		if l.Spec.PhaseShift {
+			partner := (c + l.Cores/2) % l.Cores
+			hot2, cold2 = l.hot[partner], l.cold[partner]
+		}
+		streams[c] = &randStream{
+			rng:       root.Split(),
+			hot:       l.hot[c],
+			cold:      l.cold[c],
+			hot2:      hot2,
+			cold2:     cold2,
+			hotQ:      l.Spec.HotQ,
+			hotSkew:   l.Spec.HotSkew,
+			seqP:      l.Spec.SeqP,
+			writeFrac: l.Spec.WriteFrac,
+			burst:     l.Spec.burst(),
+			remaining: perCore,
+			total:     perCore,
+		}
+	}
+	return streams
+}
+
+// WarmupStreams returns streams that touch each page of every core's
+// population exactly once, in page order. The engine uses them to bring
+// the system to steady state (resident set populated, TLBs warm) before
+// the measured phase, mirroring the paper's steady-state iteration
+// measurements — otherwise scaled-down runs are dominated by one-time
+// demand paging that real multi-minute runs amortize away.
+func (l *Layout) WarmupStreams() []Stream {
+	streams := make([]Stream, l.Cores)
+	for c := 0; c < l.Cores; c++ {
+		pages := make([]sim.PageID, 0, len(l.hot[c])+len(l.cold[c]))
+		pages = append(pages, l.hot[c]...)
+		pages = append(pages, l.cold[c]...)
+		streams[c] = &sliceStream{pages: pages}
+	}
+	return streams
+}
+
+// sliceStream replays a fixed page list once, as reads.
+type sliceStream struct {
+	pages []sim.PageID
+	pos   int
+}
+
+// Next implements Stream.
+func (s *sliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.pages) {
+		return Access{}, false
+	}
+	a := Access{VPN: s.pages[s.pos]}
+	s.pos++
+	return a, true
+}
+
+// Len implements Stream.
+func (s *sliceStream) Len() int { return len(s.pages) }
+
+// randStream draws pages from the two-tier population and touches each
+// selected page `burst` consecutive times (intra-page reuse).
+type randStream struct {
+	rng         *sim.RNG
+	hot, cold   []sim.PageID
+	hot2, cold2 []sim.PageID // post-phase-shift pools (same as hot/cold without PhaseShift)
+	hotQ        float64
+	hotSkew     float64
+	seqP        float64
+	writeFrac   float64
+	burst       int
+	remaining   int
+	total       int
+
+	cur     sim.PageID
+	curPool []sim.PageID // pool the current page came from
+	curIdx  int          // index of cur within curPool
+	curLeft int
+}
+
+// Next implements Stream.
+func (r *randStream) Next() (Access, bool) {
+	if r.remaining <= 0 {
+		return Access{}, false
+	}
+	if r.remaining == r.total/2 && (len(r.hot2) > 0 || len(r.cold2) > 0) {
+		// Phase shift: adopt the second-half pools.
+		r.hot, r.cold = r.hot2, r.cold2
+		r.curLeft = 0
+	}
+	r.remaining--
+	if r.curLeft <= 0 {
+		// Streaming component: continue the sequential walk through the
+		// core's own population with probability seqP (runs have
+		// geometric mean length 1/(1-seqP)). Walking the pool keeps the
+		// stream inside the core's partition, so the sharing profile of
+		// Fig. 6 is exactly the one Build laid out.
+		if r.seqP > 0 && r.curPool != nil && r.curIdx+1 < len(r.curPool) && r.rng.Float64() < r.seqP {
+			r.curIdx++
+			r.cur = r.curPool[r.curIdx]
+			r.curLeft = r.burst - 1
+			return Access{VPN: r.cur, Write: r.rng.Float64() < r.writeFrac}, true
+		}
+		hot := len(r.cold) == 0 || (len(r.hot) > 0 && r.rng.Float64() < r.hotQ)
+		pool := r.cold
+		if hot {
+			pool = r.hot
+		}
+		switch {
+		case len(pool) == 0:
+			// Degenerate spec (no pages for this core): touch page 0.
+			r.cur = 0
+			r.curPool = nil
+		case hot && r.hotSkew > 1:
+			// Graded popularity: skewed index into the hot pool.
+			u := r.rng.Float64()
+			u = math.Pow(u, r.hotSkew)
+			r.curIdx = int(u * float64(len(pool)))
+			r.cur = pool[r.curIdx]
+			r.curPool = pool
+		default:
+			r.curIdx = r.rng.Intn(len(pool))
+			r.cur = pool[r.curIdx]
+			r.curPool = pool
+		}
+		r.curLeft = r.burst
+	}
+	r.curLeft--
+	return Access{VPN: r.cur, Write: r.rng.Float64() < r.writeFrac}, true
+}
+
+// Len implements Stream.
+func (r *randStream) Len() int { return r.total }
