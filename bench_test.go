@@ -97,6 +97,60 @@ func BenchmarkSimulateRegularPT(b *testing.B) {
 	benchSimulate(b, cmcp.PolicySpec{Kind: cmcp.FIFO}, cmcp.RegularPT)
 }
 
+// benchTraceCfg is the shared configuration of the tracing-overhead
+// benchmark pair below.
+func benchTraceCfg() cmcp.Config {
+	return cmcp.Config{
+		Cores:       56,
+		Workload:    cmcp.SCALE().Scale(0.1),
+		MemoryRatio: 0.5,
+		Tables:      cmcp.PSPT,
+		Policy:      cmcp.PolicySpec{Kind: cmcp.CMCP, P: 0.875},
+		Seed:        1,
+	}
+}
+
+// BenchmarkSimulateTraceDisabled is the flight-recorder overhead
+// guard's baseline: the identical run with Probe nil, where every
+// instrumented site costs exactly one nil-check branch. Compare
+// against BenchmarkSimulateTraceEnabled (and against the pre-probe
+// BenchmarkSimulateCMCP history): the disabled path must stay within
+// noise (≤2%) of the seed baseline.
+func BenchmarkSimulateTraceDisabled(b *testing.B) {
+	cfg := benchTraceCfg()
+	b.ResetTimer()
+	var touches uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmcp.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		touches += res.Run.Total(cmcp.Touches)
+	}
+	b.ReportMetric(float64(touches)/b.Elapsed().Seconds(), "touches/s")
+}
+
+// BenchmarkSimulateTraceEnabled measures the same run with the flight
+// recorder and sampler live — the price of full observability.
+func BenchmarkSimulateTraceEnabled(b *testing.B) {
+	cfg := benchTraceCfg()
+	rec := cmcp.NewRecorder(cmcp.RecorderConfig{SampleEvery: 100_000})
+	cfg.Probe = rec
+	b.ResetTimer()
+	var touches, events uint64
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		res, err := cmcp.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		touches += res.Run.Total(cmcp.Touches)
+		events += uint64(len(rec.Events())) + rec.Dropped()
+	}
+	b.ReportMetric(float64(touches)/b.Elapsed().Seconds(), "touches/s")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 // BenchmarkAblationNoPSPT quantifies the PSPT design choice from
 // DESIGN.md: identical workload and policy, regular tables vs PSPT.
 // The reported metric is the simulated runtime ratio (regular/PSPT) —

@@ -32,9 +32,12 @@
 package cmcp
 
 import (
+	"io"
+
 	"cmcp/internal/core"
 	"cmcp/internal/experiments"
 	"cmcp/internal/machine"
+	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
@@ -259,3 +262,65 @@ func RunAllExperiments(o ExperimentOptions) ([]*ExperimentReport, error) {
 // Constraint returns the per-workload memory ratio used by the Fig. 7 /
 // Table 1 experiments (the paper's 50-60 %-of-native methodology).
 func Constraint(workloadName string) float64 { return experiments.Constraint(workloadName) }
+
+// Observability: attach a Recorder through Config.Probe to capture a
+// flight-recorder event trace and periodic time-series samples, then
+// export them for offline analysis (JSONL, Perfetto, CSV).
+type (
+	// Recorder is the per-run flight recorder and sampler. One
+	// Recorder serves one run at a time; do not share across RunMany.
+	Recorder = obs.Recorder
+	// RecorderConfig sizes the event ring and the sampling interval.
+	RecorderConfig = obs.Config
+	// TraceEvent is one flight-recorder entry.
+	TraceEvent = obs.Event
+	// TraceEventType identifies a kind of TraceEvent.
+	TraceEventType = obs.EventType
+	// TraceSample is one periodic time-series point.
+	TraceSample = obs.Sample
+)
+
+// Flight-recorder event types (see the obs package for semantics).
+const (
+	// EvFault is a major page fault (page-in from the host).
+	EvFault = obs.EvFault
+	// EvMinorFault is a PSPT sibling-PTE copy fault.
+	EvMinorFault = obs.EvMinorFault
+	// EvEviction is a victim unmap; Arg is the remote shootdown count.
+	EvEviction = obs.EvEviction
+	// EvWriteBack is a dirty eviction's copy-out; Arg is bytes.
+	EvWriteBack = obs.EvWriteBack
+	// EvShootdown is a remote TLB invalidation; Arg is target cores.
+	EvShootdown = obs.EvShootdown
+	// EvScanTick is one scanner-lane policy tick; Arg is its cost.
+	EvScanTick = obs.EvScanTick
+	// EvPromotion is CMCP admitting a page to the priority group.
+	EvPromotion = obs.EvPromotion
+	// EvDemotion is CMCP draining a page back to the FIFO list.
+	EvDemotion = obs.EvDemotion
+	// EvLockWait is a non-zero wait on a lock or the DMA bus.
+	EvLockWait = obs.EvLockWait
+)
+
+// NewRecorder builds a flight recorder to attach via Config.Probe.
+func NewRecorder(cfg RecorderConfig) *Recorder { return obs.NewRecorder(cfg) }
+
+// WriteTraceJSONL exports recorded events as JSON Lines.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error { return obs.WriteJSONL(w, events) }
+
+// ReadTraceJSONL loads a JSONL event trace written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
+
+// WriteChromeTrace exports events and samples as Chrome trace_event
+// JSON, loadable in Perfetto or chrome://tracing (one track per core).
+func WriteChromeTrace(w io.Writer, events []TraceEvent, samples []TraceSample, cores int) error {
+	return obs.WriteChromeTrace(w, events, samples, cores)
+}
+
+// WriteSamplesCSV exports the sampler time series as CSV.
+func WriteSamplesCSV(w io.Writer, samples []TraceSample) error {
+	return obs.WriteSamplesCSV(w, samples)
+}
+
+// TraceTimeline renders events as a bucketed text timeline.
+func TraceTimeline(events []TraceEvent, buckets int) string { return obs.Timeline(events, buckets) }

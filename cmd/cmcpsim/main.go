@@ -9,18 +9,38 @@
 // Run a single simulation:
 //
 //	cmcpsim -run -workload cg.B -cores 56 -ratio 0.4 -policy CMCP -p 0.25
+//
+// Record an event trace and time series of a run (open the .json in
+// Perfetto / chrome://tracing; replay the .jsonl with cmcptrace):
+//
+//	cmcpsim -run -policy CMCP -trace -trace-out run.json -sample-every 100000
+//
+// Emit machine-readable benchmark results:
+//
+//	cmcpsim -bench -json -bench-out BENCH_cmcp.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"cmcp"
 	"cmcp/internal/plot"
+	"cmcp/internal/stats"
 )
+
+// traceOptions bundles the observability flags of -run mode.
+type traceOptions struct {
+	enabled     bool
+	out         string
+	sampleEvery uint64
+}
 
 func main() {
 	var (
@@ -42,12 +62,26 @@ func main() {
 		dynamicP = flag.Bool("dynamic-p", false, "enable CMCP's fault-feedback p tuner")
 		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
 		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
+
+		traceFlag   = flag.Bool("trace", false, "record a flight-recorder event trace of the -run simulation")
+		traceOut    = flag.String("trace-out", "trace.json", "trace output path: .json = Chrome trace_event (Perfetto), .jsonl = JSON Lines")
+		sampleEvery = flag.Uint64("sample-every", 0, "time-series sampling interval in cycles (0 = off); CSV lands next to -trace-out")
+
+		bench     = flag.Bool("bench", false, "run the policy throughput benchmark suite")
+		benchJSON = flag.Bool("json", true, "with -bench: write machine-readable results")
+		benchOut  = flag.String("bench-out", "BENCH_cmcp.json", "with -bench -json: results file")
+		benchN    = flag.Int("bench-n", 3, "with -bench: iterations per configuration")
 	)
 	flag.Parse()
 
 	switch {
+	case *bench:
+		if err := runBench(*benchN, *benchJSON, *benchOut, *seed); err != nil {
+			fatal(err)
+		}
 	case *run:
-		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed); err != nil {
+		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, topt); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -99,7 +133,7 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) e
 	return nil
 }
 
-func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64) error {
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, topt traceOptions) error {
 	wl, ok := cmcp.WorkloadByName(wlName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", wlName)
@@ -125,6 +159,10 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 			return err
 		}
 	}
+	var rec *cmcp.Recorder
+	if topt.enabled || topt.sampleEvery > 0 {
+		rec = cmcp.NewRecorder(cmcp.RecorderConfig{SampleEvery: cmcp.Cycles(topt.sampleEvery)})
+	}
 	res, err := cmcp.Simulate(cmcp.Config{
 		Cores:            cores,
 		Workload:         wl,
@@ -134,6 +172,7 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		Tables:           tk,
 		Policy:           cmcp.PolicySpec{Kind: kind, P: p, DynamicP: dynamicP},
 		Seed:             seed,
+		Probe:            rec,
 	})
 	if err != nil {
 		return err
@@ -158,6 +197,132 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 	if res.Sharing != nil {
 		fmt.Printf("sharing       %v (pages by core-map count 0..n)\n", res.Sharing[:min(9, len(res.Sharing))])
 	}
+	if rec != nil {
+		if err := writeTrace(rec, topt, cores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace exports the recorder's contents according to the flags:
+// events to -trace-out (format by extension), samples to a sibling
+// .samples.csv when -sample-every is set.
+func writeTrace(rec *cmcp.Recorder, topt traceOptions, cores int) error {
+	if topt.enabled {
+		f, err := os.Create(topt.out)
+		if err != nil {
+			return err
+		}
+		events := rec.Events()
+		switch {
+		case strings.HasSuffix(topt.out, ".jsonl"):
+			err = cmcp.WriteTraceJSONL(f, events)
+		default:
+			err = cmcp.WriteChromeTrace(f, events, rec.Samples(), cores)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace         %d events (%d dropped) -> %s\n", len(events), rec.Dropped(), topt.out)
+	}
+	if topt.sampleEvery > 0 {
+		ext := filepath.Ext(topt.out)
+		csvOut := strings.TrimSuffix(topt.out, ext) + ".samples.csv"
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		err = cmcp.WriteSamplesCSV(f, rec.Samples())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("samples       %d points -> %s\n", len(rec.Samples()), csvOut)
+	}
+	return nil
+}
+
+// benchResult is one configuration's measurement in the -bench output.
+type benchResult struct {
+	Name        string            `json:"name"`
+	Iterations  int               `json:"iterations"`
+	NsPerOp     int64             `json:"ns_per_op"`
+	TouchesPerS float64           `json:"touches_per_sec"`
+	RuntimeCyc  uint64            `json:"simulated_runtime_cycles"`
+	Counters    map[string]uint64 `json:"counters"`
+}
+
+// benchFile is the schema of BENCH_cmcp.json.
+type benchFile struct {
+	Schema    string        `json:"schema"`
+	UnixTime  int64         `json:"unix_time"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Runs      []benchResult `json:"runs"`
+}
+
+// runBench measures raw Simulate throughput for each built-in policy
+// on the SCALE workload (the mirror of bench_test.go's benchSimulate)
+// and optionally writes BENCH_cmcp.json, seeding the perf trajectory
+// with ns/op plus the counter totals that explain them.
+func runBench(iters int, emitJSON bool, out string, seed uint64) error {
+	if iters < 1 {
+		iters = 1
+	}
+	kinds := []cmcp.PolicyKind{cmcp.FIFO, cmcp.LRU, cmcp.CMCP, cmcp.CLOCK, cmcp.LFU, cmcp.Random}
+	file := benchFile{Schema: "cmcp-bench/v1", UnixTime: time.Now().Unix(), GoVersion: runtime.Version()}
+	for _, kind := range kinds {
+		cfg := cmcp.Config{
+			Cores:       56,
+			Workload:    cmcp.SCALE().Scale(0.1),
+			MemoryRatio: 0.5,
+			Tables:      cmcp.PSPT,
+			Policy:      cmcp.PolicySpec{Kind: kind, P: -1},
+			Seed:        seed,
+		}
+		var touches uint64
+		var last *cmcp.Result
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := cmcp.Simulate(cfg)
+			if err != nil {
+				return err
+			}
+			touches += res.Run.Total(cmcp.Touches)
+			last = res
+		}
+		elapsed := time.Since(start)
+		counters := make(map[string]uint64, stats.NumCounters)
+		for c, name := range stats.CounterNames() {
+			counters[name] = last.Run.Total(stats.Counter(c))
+		}
+		r := benchResult{
+			Name:        "Simulate/" + kind.String(),
+			Iterations:  iters,
+			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+			TouchesPerS: float64(touches) / elapsed.Seconds(),
+			RuntimeCyc:  uint64(last.Runtime),
+			Counters:    counters,
+		}
+		file.Runs = append(file.Runs, r)
+		fmt.Printf("%-18s %12d ns/op %14.0f touches/s\n", r.Name, r.NsPerOp, r.TouchesPerS)
+	}
+	if !emitJSON {
+		return nil
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

@@ -5,14 +5,22 @@
 //
 //	cmcptrace -record -workload cg.B -cores 16 -o cg.trace
 //	cmcptrace -analyze cg.trace -ratio 0.4
+//
+// It also replays flight-recorder event traces (the JSONL files that
+// `cmcpsim -run -trace -trace-out x.jsonl` records) into a bucketed
+// text timeline:
+//
+//	cmcptrace -replay run.jsonl -buckets 24
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cmcp/internal/core"
+	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/trace"
@@ -23,6 +31,8 @@ func main() {
 	var (
 		record  = flag.Bool("record", false, "record a workload trace")
 		analyze = flag.String("analyze", "", "trace file to analyze")
+		replay  = flag.String("replay", "", "flight-recorder JSONL event trace to render as a timeline")
+		buckets = flag.Int("buckets", 20, "time buckets for -replay")
 		wlName  = flag.String("workload", "cg.B", "workload: bt.B|lu.B|cg.B|SCALE")
 		cores   = flag.Int("cores", 16, "cores")
 		scale   = flag.Float64("scale", 0.1, "workload scale")
@@ -41,9 +51,80 @@ func main() {
 		if err := doAnalyze(*analyze, *ratio); err != nil {
 			fatal(err)
 		}
+	case *replay != "":
+		if err := doReplay(os.Stdout, *replay, *buckets); err != nil {
+			fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// doReplay loads a flight-recorder JSONL event trace and writes the
+// bucketed text timeline plus a per-core activity summary to w.
+func doReplay(w io.Writer, path string, buckets int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, obs.Timeline(events, buckets))
+	fmt.Fprint(w, coreSummary(events))
+	return nil
+}
+
+// coreSummary renders per-core event totals: which cores faulted,
+// evicted and were interrupted — the skew picture the aggregate
+// tables hide.
+func coreSummary(events []obs.Event) string {
+	type agg struct {
+		faults, evictions, shootdowns, lockWait uint64
+	}
+	perCore := map[sim.CoreID]*agg{}
+	for _, e := range events {
+		if e.Core == obs.PolicyCore {
+			continue // promotions/demotions already shown in the timeline
+		}
+		a := perCore[e.Core]
+		if a == nil {
+			a = &agg{}
+			perCore[e.Core] = a
+		}
+		switch e.Type {
+		case obs.EvFault, obs.EvMinorFault:
+			a.faults++
+		case obs.EvEviction:
+			a.evictions++
+		case obs.EvShootdown:
+			a.shootdowns += uint64(e.Arg)
+		case obs.EvLockWait:
+			a.lockWait += uint64(e.Arg)
+		}
+	}
+	var ids []sim.CoreID
+	for c := range perCore {
+		ids = append(ids, c)
+	}
+	sortCoreIDs(ids)
+	s := "\nper-core activity (faults include minor; shootdowns count target cores):\n"
+	s += fmt.Sprintf("%8s %10s %10s %12s %16s\n", "core", "faults", "evictions", "shootdowns", "lock_wait_cyc")
+	for _, c := range ids {
+		a := perCore[c]
+		s += fmt.Sprintf("%8d %10d %10d %12d %16d\n", c, a.faults, a.evictions, a.shootdowns, a.lockWait)
+	}
+	return s
+}
+
+func sortCoreIDs(ids []sim.CoreID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmcp"
+	"cmcp/internal/obs"
+)
+
+// TestReplayRoundTrip exercises the full observability pipeline:
+// simulate with a flight recorder, export JSONL, replay through the
+// -replay timeline renderer, and check the timeline totals match the
+// recorded events.
+func TestReplayRoundTrip(t *testing.T) {
+	rec := cmcp.NewRecorder(cmcp.RecorderConfig{Events: 1 << 20})
+	_, err := cmcp.Simulate(cmcp.Config{
+		Cores:       4,
+		Workload:    cmcp.SCALE().Scale(0.02),
+		MemoryRatio: 0.5,
+		Tables:      cmcp.PSPT,
+		Policy:      cmcp.PolicySpec{Kind: cmcp.CMCP, P: 0.5},
+		Seed:        7,
+		Probe:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmcp.WriteTraceJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := doReplay(&out, path, 8); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, fmt.Sprintf("timeline: %d events", len(events))) {
+		t.Errorf("timeline header missing event count %d:\n%s", len(events), text)
+	}
+	var faults uint64
+	for _, e := range events {
+		if e.Type == obs.EvFault {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("constrained run recorded no faults")
+	}
+	if !strings.Contains(text, "fault") || !strings.Contains(text, "per-core activity") {
+		t.Errorf("replay output missing sections:\n%s", text)
+	}
+	// Every application core appears in the per-core summary.
+	for c := 0; c < 4; c++ {
+		if !strings.Contains(text, fmt.Sprintf("\n%8d ", c)) {
+			t.Errorf("core %d missing from per-core summary:\n%s", c, text)
+		}
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := doReplay(&out, filepath.Join(t.TempDir(), "missing.jsonl"), 8); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(&out, bad, 8); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestCoreSummaryAggregation(t *testing.T) {
+	events := []obs.Event{
+		{Time: 1, Core: 0, Type: obs.EvFault, Page: 1},
+		{Time: 2, Core: 0, Type: obs.EvMinorFault, Page: 1},
+		{Time: 3, Core: 0, Type: obs.EvShootdown, Page: 1, Arg: 3},
+		{Time: 4, Core: 1, Type: obs.EvEviction, Page: 2, Arg: 1},
+		{Time: 5, Core: 1, Type: obs.EvLockWait, Page: 2, Arg: 250},
+		{Time: 6, Core: obs.PolicyCore, Type: obs.EvPromotion, Page: 2, Arg: 2},
+	}
+	s := coreSummary(events)
+	if strings.Contains(s, "policy\n") {
+		t.Error("policy pseudo-core must not appear in the per-core table")
+	}
+	want0 := fmt.Sprintf("%8d %10d %10d %12d %16d", 0, 2, 0, 3, 0)
+	want1 := fmt.Sprintf("%8d %10d %10d %12d %16d", 1, 0, 1, 0, 250)
+	if !strings.Contains(s, want0) || !strings.Contains(s, want1) {
+		t.Errorf("summary rows wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,110 @@
+// Observability records flight-recorder traces of the same run under
+// CMCP and LRU and prints *when* their eviction behaviour diverges —
+// the time-resolved view behind the paper's Table 1 aggregates.
+//
+// The aggregate story: LRU's access-bit scanning buys a lower fault
+// count but pays for it with remote-TLB-invalidation storms. The
+// timeline below shows the mechanism directly: LRU's shootdowns arrive
+// in scanner-driven bursts throughout the run, while CMCP's only TLB
+// traffic is the precise, small shootdowns of its own evictions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmcp"
+)
+
+const buckets = 12
+
+// phase aggregates one policy's events into time buckets.
+type phase struct {
+	evictions  [buckets]uint64
+	shootdowns [buckets]uint64 // target cores interrupted
+	promotions [buckets]uint64
+}
+
+func record(kind cmcp.PolicyKind) (*cmcp.Result, []cmcp.TraceEvent, error) {
+	rec := cmcp.NewRecorder(cmcp.RecorderConfig{Events: 1 << 20})
+	res, err := cmcp.Simulate(cmcp.Config{
+		Cores:       56,
+		Workload:    cmcp.CG().Scale(0.1),
+		MemoryRatio: cmcp.Constraint("cg.B"),
+		Tables:      cmcp.PSPT,
+		Policy:      cmcp.PolicySpec{Kind: kind, P: -1},
+		Seed:        7,
+		Probe:       rec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rec.Events(), nil
+}
+
+func bucketize(events []cmcp.TraceEvent, span cmcp.Cycles) *phase {
+	p := &phase{}
+	for _, e := range events {
+		i := int(e.Time / span)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		switch e.Type {
+		case cmcp.EvEviction:
+			p.evictions[i]++
+		case cmcp.EvShootdown:
+			p.shootdowns[i] += uint64(e.Arg)
+		case cmcp.EvPromotion:
+			p.promotions[i]++
+		}
+	}
+	return p
+}
+
+func main() {
+	cmcpRes, cmcpEvents, err := record(cmcp.CMCP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lruRes, lruEvents, err := record(cmcp.LRU)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One shared bucket width so rows line up: span of the longer trace.
+	horizon := cmcpEvents[len(cmcpEvents)-1].Time
+	if t := lruEvents[len(lruEvents)-1].Time; t > horizon {
+		horizon = t
+	}
+	span := horizon/buckets + 1
+	cp := bucketize(cmcpEvents, span)
+	lp := bucketize(lruEvents, span)
+
+	fmt.Printf("CMCP vs LRU on cg.B (56 cores, %.0f%% memory): eviction timeline\n",
+		100*cmcp.Constraint("cg.B"))
+	fmt.Printf("bucket = %.2f Mcycles; shootdowns count interrupted target cores\n\n", float64(span)/1e6)
+	fmt.Printf("%8s  %22s  %22s  %s\n", "", "evictions (CMCP/LRU)", "shootdowns (CMCP/LRU)", "")
+	for i := 0; i < buckets; i++ {
+		note := ""
+		if lp.shootdowns[i] > 4*cp.shootdowns[i]+100 {
+			note = "<- LRU scanner storm"
+		}
+		if cp.promotions[i] > 0 && i == 0 {
+			note += " (CMCP priority group filling)"
+		}
+		fmt.Printf("[%3d]     %10d / %-10d %10d / %-10d %s\n",
+			i, cp.evictions[i], lp.evictions[i], cp.shootdowns[i], lp.shootdowns[i], note)
+	}
+
+	fmt.Printf("\naggregates (per core):\n")
+	fmt.Printf("%-22s %12s %12s\n", "", "CMCP", "LRU")
+	fmt.Printf("%-22s %12.0f %12.0f\n", "page faults",
+		cmcpRes.Run.PerCoreAvg(cmcp.PageFaults), lruRes.Run.PerCoreAvg(cmcp.PageFaults))
+	fmt.Printf("%-22s %12.0f %12.0f\n", "remote invalidations",
+		cmcpRes.Run.PerCoreAvg(cmcp.RemoteTLBInvalidations), lruRes.Run.PerCoreAvg(cmcp.RemoteTLBInvalidations))
+	fmt.Printf("%-22s %12.2f %12.2f\n", "runtime (Mcycles)",
+		float64(cmcpRes.Runtime)/1e6, float64(lruRes.Runtime)/1e6)
+	fmt.Println("\nLRU may fault less, yet every scan bucket above costs it remote")
+	fmt.Println("invalidations CMCP never issues — the runtime gap's mechanism,")
+	fmt.Println("resolved in time rather than summed in Table 1.")
+}

@@ -54,6 +54,22 @@ type CMCP struct {
 
 	// dynamic-p tuner (the paper's §5.6 future work); nil when static.
 	tuner *Tuner
+
+	// observer receives priority-group transitions; nil when nobody
+	// listens (the common case — calls are guarded by one nil check).
+	observer Observer
+}
+
+// Observer receives CMCP priority-group transitions. The simulator's
+// flight recorder (internal/obs) satisfies it structurally; the
+// interface lives here so the policy depends on nothing above it.
+type Observer interface {
+	// NotePromotion reports base entering the priority group with the
+	// given core-map-count key.
+	NotePromotion(base sim.PageID, key float64)
+	// NoteDemotion reports base draining from the priority group back
+	// to the FIFO list (displacement by a hotter page, or aging).
+	NoteDemotion(base sim.PageID)
 }
 
 // prioItem is one page in the priority group. key starts at the page's
@@ -118,6 +134,11 @@ func WithAgeDecay(d float64) Option {
 // WithTuner attaches a dynamic-p tuner (see Tuner).
 func WithTuner(t *Tuner) Option {
 	return func(c *CMCP) { c.tuner = t }
+}
+
+// WithObserver attaches a priority-group transition observer.
+func WithObserver(o Observer) Option {
+	return func(c *CMCP) { c.observer = o }
 }
 
 // New creates a CMCP policy. host supplies core-map counts (PSPT);
@@ -221,6 +242,9 @@ func (c *CMCP) tryAdmit(base sim.PageID, key float64) bool {
 	heap.Pop(&c.prio)
 	delete(c.index, min.base)
 	c.fifo.PushTail(min.base)
+	if c.observer != nil {
+		c.observer.NoteDemotion(min.base)
+	}
 	c.pushPrio(base, key)
 	return true
 }
@@ -236,6 +260,9 @@ func (c *CMCP) pushPrio(base sim.PageID, key float64) {
 	it := &prioItem{base: base, key: key, seq: c.seq}
 	c.index[base] = it
 	heap.Push(&c.prio, it)
+	if c.observer != nil {
+		c.observer.NotePromotion(base, key)
+	}
 }
 
 // Victim implements policy.Policy: the FIFO head, or — only when the
@@ -294,6 +321,9 @@ func (c *CMCP) Tick(now sim.Cycles) {
 		it := heap.Pop(&c.prio).(*prioItem)
 		delete(c.index, it.base)
 		c.fifo.PushTail(it.base)
+		if c.observer != nil {
+			c.observer.NoteDemotion(it.base)
+		}
 	}
 }
 

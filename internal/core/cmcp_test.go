@@ -410,3 +410,64 @@ func TestTunerDefaults(t *testing.T) {
 		t.Error("defaults not applied")
 	}
 }
+
+// recordingObserver captures promotion/demotion notifications.
+type recordingObserver struct {
+	promotions map[sim.PageID]float64
+	demotions  []sim.PageID
+}
+
+func (o *recordingObserver) NotePromotion(base sim.PageID, key float64) {
+	if o.promotions == nil {
+		o.promotions = make(map[sim.PageID]float64)
+	}
+	o.promotions[base] = key
+}
+
+func (o *recordingObserver) NoteDemotion(base sim.PageID) {
+	o.demotions = append(o.demotions, base)
+}
+
+func TestCMCPObserverSeesTransitions(t *testing.T) {
+	h := newCountHost(t)
+	o := &recordingObserver{}
+	c := New(h, 4, WithP(0.5), WithObserver(o)) // priority group holds 2
+
+	h.counts[10], h.counts[11], h.counts[12] = 3, 2, 5
+	c.PTESetup(10) // admitted (room)
+	c.PTESetup(11) // admitted (room)
+	c.PTESetup(12) // displaces 11 (the minimum)
+	if len(o.promotions) != 3 {
+		t.Fatalf("promotions = %v, want 10, 11, 12", o.promotions)
+	}
+	if o.promotions[10] != 3 || o.promotions[12] != 5 {
+		t.Errorf("promotion keys %v", o.promotions)
+	}
+	if len(o.demotions) != 1 || o.demotions[0] != 11 {
+		t.Fatalf("demotions = %v, want [11]", o.demotions)
+	}
+
+	// Aging drains both remaining prioritized pages (keys 3 and 5 fall
+	// below 1 after five sweeps).
+	for i := 0; i < 5; i++ {
+		c.Tick(sim.Cycles(i+1) * sim.DefaultCostModel().AgePeriod)
+	}
+	if len(o.demotions) != 3 {
+		t.Errorf("after aging demotions = %v, want 10 and 12 drained too", o.demotions)
+	}
+	if f, p := c.Groups(); p != 0 || f != 3 {
+		t.Errorf("groups after aging: fifo=%d prio=%d", f, p)
+	}
+}
+
+func TestCMCPNoObserverNoPanic(t *testing.T) {
+	h := newCountHost(t)
+	c := New(h, 4, WithP(0.5))
+	h.counts[1] = 4
+	c.PTESetup(1)
+	c.PTESetup(2)
+	c.Tick(sim.DefaultCostModel().AgePeriod * 10)
+	if _, ok := c.Victim(); !ok {
+		t.Fatal("victim expected")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cmcp/internal/core"
+	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
@@ -116,6 +117,11 @@ type Config struct {
 	// PSPTRebuildPeriod periodically drops all private PTEs so the
 	// sharing picture re-forms (paper §5.6; PSPT only; 0 = off).
 	PSPTRebuildPeriod sim.Cycles
+	// Probe attaches a flight recorder / sampler to the run (see
+	// internal/obs). nil disables tracing; the hot paths then pay one
+	// nil-check branch per instrumented site. A Recorder serves one
+	// run at a time — never share one across concurrent RunMany calls.
+	Probe *obs.Recorder
 }
 
 // Result is one run's outcome.
@@ -192,6 +198,9 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 			}
 			if cfg.Policy.DynamicP {
 				opts = append(opts, core.WithTuner(core.NewTuner(core.TunerConfig{})))
+			}
+			if cfg.Probe != nil {
+				opts = append(opts, core.WithObserver(cfg.Probe))
 			}
 			return core.New(h, capacity, opts...)
 		}, nil
@@ -273,6 +282,7 @@ func Simulate(cfg Config) (*Result, error) {
 		Adaptive: cfg.AdaptivePageSize,
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
+		Probe:             cfg.Probe,
 	}, factory)
 	if err != nil {
 		return nil, err
@@ -342,6 +352,9 @@ func runPhase(mgr *vm.Manager, cfg Config, streams []workload.Stream, start sim.
 			// Scanner pseudo-core: run policy periodic work, then
 			// schedule the next tick after the work completes.
 			cost := mgr.Tick(ev.clock)
+			if rec := cfg.Probe; rec != nil && rec.Sampling() {
+				sample(rec, mgr, ev.clock, events)
+			}
 			next := ev.clock + cfg.TickInterval
 			if done := ev.clock + cost; done > next {
 				next = done
@@ -370,4 +383,39 @@ func runPhase(mgr *vm.Manager, cfg Config, streams []workload.Stream, start sim.
 	}
 	run.Finish[scanner.id] = scanner.clock
 	return barrier
+}
+
+// sample captures one time-series point on the sampler's schedule: the
+// cumulative counter totals, the resident-set size, CMCP's group split
+// (when the policy exposes one) and the virtual-clock skew across the
+// still-running application cores. It runs on the scanner lane, so the
+// sampling resolution is bounded below by Config.TickInterval.
+func sample(rec *obs.Recorder, mgr *vm.Manager, now sim.Cycles, events eventHeap) {
+	rec.MaybeSample(now, func(s *obs.Sample) {
+		run := mgr.Run()
+		for c := 0; c < stats.NumCounters; c++ {
+			s.Counters[c] = run.Total(stats.Counter(c))
+		}
+		s.Resident = mgr.Resident()
+		if g, ok := mgr.Policy().(interface{ Groups() (int, int) }); ok {
+			s.FIFOLen, s.PrioLen = g.Groups()
+		}
+		var lo, hi sim.Cycles
+		active := 0
+		for _, ev := range events {
+			if ev.stream == nil {
+				continue
+			}
+			if active == 0 || ev.clock < lo {
+				lo = ev.clock
+			}
+			if active == 0 || ev.clock > hi {
+				hi = ev.clock
+			}
+			active++
+		}
+		if active >= 2 {
+			s.ClockSkew = hi - lo
+		}
+	})
 }

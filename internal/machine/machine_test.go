@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
@@ -421,5 +422,91 @@ func TestPSPTRebuildHelpsUnderPhaseShift(t *testing.T) {
 	}
 	if results[1].Run.Total(stats.MinorFaults) <= results[0].Run.Total(stats.MinorFaults) {
 		t.Error("rebuild must force sharing to re-form (more minor faults)")
+	}
+}
+
+// TestProbeRecordsEvents attaches a flight recorder and checks the
+// event trace agrees with the aggregate counters: one EvFault per
+// counted page fault, one EvEviction per counted eviction, and samples
+// on the configured schedule.
+func TestProbeRecordsEvents(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{Events: 1 << 20, SampleEvery: 50_000})
+	cfg := quickCfg()
+	cfg.Policy = PolicySpec{Kind: CMCP, P: 0.5}
+	cfg.Probe = rec
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults, minors, evictions, promotions uint64
+	for _, e := range rec.Events() {
+		switch e.Type {
+		case obs.EvFault:
+			faults++
+		case obs.EvMinorFault:
+			minors++
+		case obs.EvEviction:
+			evictions++
+		case obs.EvPromotion:
+			promotions++
+		}
+	}
+	// The recorder sees warm-up plus measured phase; the Run counters
+	// are rebased to the measured phase only, so events >= counters.
+	if rebased := res.Run.Total(stats.PageFaults); faults < rebased || faults == 0 {
+		t.Errorf("trace has %d faults, counters (measured phase) %d", faults, rebased)
+	}
+	if rebased := res.Run.Total(stats.MinorFaults); minors < rebased {
+		t.Errorf("trace has %d minor faults, counters %d", minors, rebased)
+	}
+	if rebased := res.Run.Total(stats.Evictions); evictions < rebased || evictions == 0 {
+		t.Errorf("trace has %d evictions, counters %d", evictions, rebased)
+	}
+	if promotions == 0 {
+		t.Error("CMCP run recorded no promotions")
+	}
+	if rec.Dropped() != 0 {
+		t.Errorf("%d events dropped with an oversized ring", rec.Dropped())
+	}
+
+	samples := rec.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for i, s := range samples {
+		if i > 0 && s.Time <= samples[i-1].Time {
+			t.Fatalf("sample %d time %d not increasing", i, s.Time)
+		}
+		if s.Resident < 0 || s.FIFOLen < 0 || s.PrioLen < 0 {
+			t.Fatalf("sample %d missing CMCP group split: %+v", i, s)
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.Counters[stats.Touches] == 0 {
+		t.Error("final sample has zero cumulative touches")
+	}
+}
+
+// TestProbeDoesNotPerturbSimulation verifies observation is free in
+// virtual time: identical Runtime and counters with and without a
+// recorder attached.
+func TestProbeDoesNotPerturbSimulation(t *testing.T) {
+	plain, err := Simulate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Probe = obs.NewRecorder(obs.Config{SampleEvery: 10_000})
+	probed, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Runtime != probed.Runtime {
+		t.Errorf("tracing changed runtime: %d vs %d", plain.Runtime, probed.Runtime)
+	}
+	for c := 0; c < stats.NumCounters; c++ {
+		if a, b := plain.Run.Total(stats.Counter(c)), probed.Run.Total(stats.Counter(c)); a != b {
+			t.Errorf("tracing changed counter %s: %d vs %d", stats.Counter(c).Name(), a, b)
+		}
 	}
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+)
+
+func TestRingOrderAndWraparound(t *testing.T) {
+	r := NewRecorder(Config{Events: 4})
+	for i := 0; i < 6; i++ {
+		r.Emit(sim.Cycles(i), 0, EvFault, sim.PageID(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want ring capacity 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := sim.PageID(i + 2); e.Page != want {
+			t.Errorf("event %d: page %d, want %d (oldest-first after wrap)", i, e.Page, want)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRecorder(Config{Events: 8})
+	r.Emit(10, 1, EvEviction, 42, 3)
+	r.Emit(20, 2, EvWriteBack, 42, 4096)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Type != EvEviction || evs[1].Type != EvWriteBack {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", r.Dropped())
+	}
+}
+
+func TestNegativeCapacityDisablesEvents(t *testing.T) {
+	r := NewRecorder(Config{Events: -1, SampleEvery: 10})
+	r.Emit(1, 0, EvFault, 1, 0)
+	if len(r.Events()) != 0 {
+		t.Fatal("events recorded despite Events: -1")
+	}
+	if !r.Sampling() {
+		t.Fatal("sampler should stay enabled with events disabled")
+	}
+}
+
+func TestMaybeSampleSchedule(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 100})
+	fills := 0
+	for now := sim.Cycles(0); now <= 1000; now += 25 {
+		r.MaybeSample(now, func(s *Sample) {
+			fills++
+			s.Resident = fills
+		})
+	}
+	// Deadlines at 0, 100, 200, ..., 1000 → 11 samples.
+	if fills != 11 || len(r.Samples()) != 11 {
+		t.Fatalf("fills=%d samples=%d, want 11", fills, len(r.Samples()))
+	}
+	if r.Samples()[0].FIFOLen != -1 || r.Samples()[0].PrioLen != -1 {
+		t.Errorf("group lengths should default to -1, got %+v", r.Samples()[0])
+	}
+	r2 := NewRecorder(Config{})
+	r2.MaybeSample(0, func(*Sample) { t.Fatal("sampler disabled, fill must not run") })
+}
+
+func TestAdvanceAndEmitNow(t *testing.T) {
+	r := NewRecorder(Config{Events: 8})
+	r.Advance(500)
+	r.Advance(300) // time never goes backwards
+	if r.Now() != 500 {
+		t.Fatalf("Now() = %d, want 500", r.Now())
+	}
+	r.NotePromotion(7, 3)
+	r.NoteDemotion(7)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Time != 500 || evs[0].Core != PolicyCore || evs[0].Type != EvPromotion || evs[0].Arg != 3 {
+		t.Errorf("promotion event %+v", evs[0])
+	}
+	if evs[1].Type != EvDemotion || evs[1].Page != 7 {
+		t.Errorf("demotion event %+v", evs[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(Config{Events: 2, SampleEvery: 10})
+	r.Emit(1, 0, EvFault, 1, 0)
+	r.Emit(2, 0, EvFault, 2, 0)
+	r.Emit(3, 0, EvFault, 3, 0)
+	r.MaybeSample(0, func(*Sample) {})
+	r.Reset()
+	if len(r.Events()) != 0 || len(r.Samples()) != 0 || r.Dropped() != 0 || r.Now() != 0 {
+		t.Fatalf("Reset left state behind: %d events, %d samples, %d dropped, now %d",
+			len(r.Events()), len(r.Samples()), r.Dropped(), r.Now())
+	}
+	r.Emit(5, 1, EvEviction, 9, 0)
+	if got := r.Events(); len(got) != 1 || got[0].Page != 9 {
+		t.Fatalf("recorder unusable after Reset: %+v", got)
+	}
+}
+
+// TestEventNamesComplete cross-checks the event-type string table: one
+// distinct, non-empty, resolvable snake_case name per type. Together
+// with stats' counter-name test this is the desync guard the tables
+// rely on — adding an EventType without a name fails here.
+func TestEventNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for typ := EventType(0); typ < numEventTypes; typ++ {
+		name := typ.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("EventType %d has no name", typ)
+		}
+		if seen[name] {
+			t.Errorf("duplicate event name %q", name)
+		}
+		seen[name] = true
+		back, ok := EventTypeByName(name)
+		if !ok || back != typ {
+			t.Errorf("EventTypeByName(%q) = %v, %v; want %v, true", name, back, ok, typ)
+		}
+		if name != strings.ToLower(name) || strings.Contains(name, " ") {
+			t.Errorf("event name %q is not snake_case", name)
+		}
+	}
+	if _, ok := EventTypeByName("no_such_event"); ok {
+		t.Error("EventTypeByName accepted an unknown name")
+	}
+}
+
+// TestSampleCSVHeaderTracksStatsCounters verifies the sampler CSV
+// header carries every stats counter by its canonical name, so adding
+// a counter cannot silently desync table, CSV and trace output.
+func TestSampleCSVHeaderTracksStatsCounters(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSamplesCSV(&b, []Sample{{Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header+1", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	for _, name := range stats.CounterNames() {
+		found := false
+		for _, col := range header {
+			if col == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("counter %q missing from sample CSV header", name)
+		}
+	}
+	if want := 5 + stats.NumCounters; len(header) != want {
+		t.Errorf("header has %d columns, want %d", len(header), want)
+	}
+	if got := strings.Count(lines[1], ","); got != len(header)-1 {
+		t.Errorf("data row has %d commas, want %d", got, len(header)-1)
+	}
+}

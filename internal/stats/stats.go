@@ -74,6 +74,17 @@ var counterNames = [numCounters]string{
 // NumCounters is the number of distinct counters.
 const NumCounters = int(numCounters)
 
+// CounterNames returns the snake_case names of all counters in index
+// order. This is the single source of truth consumed by every other
+// layer that renders counters (tables, CSV, the obs sampler), so a new
+// counter automatically appears everywhere; a test cross-checks the
+// table for gaps and duplicates.
+func CounterNames() []string {
+	out := make([]string, numCounters)
+	copy(out, counterNames[:])
+	return out
+}
+
 // Name returns the snake_case name of the counter.
 func (c Counter) Name() string {
 	if int(c) < len(counterNames) {

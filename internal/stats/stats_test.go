@@ -139,3 +139,35 @@ func TestRunDivideBy(t *testing.T) {
 		t.Error("DivideBy(1) must be a no-op")
 	}
 }
+
+// TestCounterNamesComplete is the desync guard for the counter string
+// table: every counter must have a distinct, non-empty snake_case name
+// (internal/obs cross-checks its event names and CSV headers against
+// this same table).
+func TestCounterNamesComplete(t *testing.T) {
+	names := CounterNames()
+	if len(names) != NumCounters {
+		t.Fatalf("CounterNames() has %d entries, want %d", len(names), NumCounters)
+	}
+	seen := map[string]bool{}
+	for i, name := range names {
+		if name == "" {
+			t.Errorf("counter %d has no name", i)
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " -") {
+			t.Errorf("counter name %q is not snake_case", name)
+		}
+		if got := Counter(i).Name(); got != name {
+			t.Errorf("Counter(%d).Name() = %q, want %q", i, got, name)
+		}
+	}
+	// The returned slice is a copy: callers cannot corrupt the table.
+	names[0] = "tampered"
+	if Counter(0).Name() == "tampered" {
+		t.Error("CounterNames must return a copy")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cmcp/internal/mem"
+	"cmcp/internal/obs"
 	"cmcp/internal/pagetable"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
@@ -45,6 +46,10 @@ type Config struct {
 	// from the current access pattern — the paper's §5.6 answer to
 	// workloads whose inter-core sharing drifts over time. PSPT only.
 	PSPTRebuildPeriod sim.Cycles
+	// Probe, when non-nil, receives flight-recorder events from the
+	// fault, eviction and scan paths. Disabled tracing costs one
+	// nil-check branch per instrumented site.
+	Probe *obs.Recorder
 }
 
 // PolicyFactory builds the replacement policy against the kernel-side
@@ -77,6 +82,7 @@ type Manager struct {
 	verify   map[sim.PageID]mem.Signature
 	faultObs FaultObserver
 	adapter  *sizeAdapter
+	rec      *obs.Recorder // nil = tracing disabled
 }
 
 // NewManager builds the VM subsystem and its policy.
@@ -101,6 +107,7 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		run:     stats.NewRun(cfg.Cores),
 		scanner: sim.ScannerCore(cfg.Cores),
 		debt:    make([]sim.Cycles, cfg.Cores),
+		rec:     cfg.Probe,
 	}
 	if cfg.Tables == PSPTKind {
 		m.as = newPSPTAS(cfg.Cores)
@@ -168,12 +175,19 @@ func (m *Manager) TakeScanCost() sim.Cycles {
 // Tick runs the policy's periodic machinery at virtual time now and
 // returns the scanner-side cost it incurred.
 func (m *Manager) Tick(now sim.Cycles) sim.Cycles {
+	if m.rec != nil {
+		m.rec.Advance(now)
+	}
 	m.pol.Tick(now)
 	if m.adapter != nil {
 		m.adapter.tick(now)
 	}
 	m.maybeRebuildPSPT(now)
-	return m.TakeScanCost()
+	cost := m.TakeScanCost()
+	if m.rec != nil && cost > 0 {
+		m.rec.Emit(now, m.scanner, obs.EvScanTick, 0, int64(cost))
+	}
+	return cost
 }
 
 // maybeRebuildPSPT periodically drops all private PTEs (PSPT only) so
@@ -206,6 +220,9 @@ func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
 		m.debt[tc] += m.cost.IPIInterrupt + sim.Cycles(pages)*m.cost.InvlpgLocal
 		m.run.Add(m.scanner, stats.IPIsSent, 1)
 		m.scanCost += m.cost.ScanIPIPerTarget
+	}
+	if m.rec != nil && len(perCore) > 0 {
+		m.rec.Emit(now, m.scanner, obs.EvShootdown, 0, int64(len(perCore)))
 	}
 }
 
@@ -244,6 +261,9 @@ func (m *Manager) ScanAccessed(base sim.PageID) bool {
 		m.run.Add(m.scanner, stats.IPIsSent, uint64(remote))
 		// Asynchronous fire-and-forget IPIs: enqueue cost only.
 		m.scanCost += m.cost.IPISend + sim.Cycles(remote)*m.cost.ScanIPIPerTarget
+		if m.rec != nil {
+			m.rec.EmitNow(m.scanner, obs.EvShootdown, base, int64(remote))
+		}
 	}
 	return accessed
 }
@@ -323,6 +343,9 @@ func (m *Manager) frameOf(core sim.CoreID, vpn sim.PageID) (sim.FrameID, bool) {
 // time t and returns the completion time.
 func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycles {
 	t += m.cost.FaultEntry
+	if m.rec != nil {
+		m.rec.Advance(t)
+	}
 
 	// PSPT minor fault: some sibling core already maps the page; copy
 	// its PTE under the per-page lock.
@@ -332,6 +355,12 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 		done, waited := m.as.LockFor(base).Acquire(t, m.cost.LockBase)
 		m.run.Add(core, stats.LockWaitCycles, uint64(waited))
 		t = done
+		if m.rec != nil {
+			m.rec.Emit(t, core, obs.EvMinorFault, base, 0)
+			if waited > 0 {
+				m.rec.Emit(t, core, obs.EvLockWait, base, int64(waited))
+			}
+		}
 		m.pol.PTESetup(base)
 		if _, size, ok := m.as.Lookup(core, vpn); ok {
 			m.tlbs[core].Insert(vpn, size)
@@ -349,6 +378,9 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 	// core, so the per-core interrupt load grows linearly with the core
 	// count (and the initiator's IPI loop does too).
 	m.run.Add(core, stats.PageFaults, 1)
+	if m.rec != nil {
+		m.rec.Emit(t, core, obs.EvFault, vpn, 0)
+	}
 	if m.faultObs != nil {
 		m.faultObs.NoteFault()
 	}
@@ -369,16 +401,25 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 
 	done, waited := m.allocLock.Acquire(t, m.cost.AllocLock)
 	m.run.Add(core, stats.LockWaitCycles, uint64(waited))
+	if m.rec != nil && waited > 0 {
+		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
+	}
 	t = done
 	work, wire := m.service(core, vpn, base, size, span)
 	t += work
 	if wire > 0 {
 		busDone, busWaited := m.dmaBus.Acquire(t, wire)
 		m.run.Add(core, stats.LockWaitCycles, uint64(busWaited))
+		if m.rec != nil && busWaited > 0 {
+			m.rec.Emit(busDone, core, obs.EvLockWait, base, int64(busWaited))
+		}
 		t = busDone + m.dmaLatencyFor(wire)
 	}
 	done, waited = m.as.LockFor(base).Acquire(t, m.cost.LockBase)
 	m.run.Add(core, stats.LockWaitCycles, uint64(waited))
+	if m.rec != nil && waited > 0 {
+		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
+	}
 	return done
 }
 
@@ -482,6 +523,12 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64) {
 		m.run.Add(core, stats.IPIsSent, uint64(remote))
 		work += m.cost.IPISend
 	}
+	if m.rec != nil {
+		m.rec.EmitNow(core, obs.EvEviction, base, int64(remote))
+		if remote > 0 {
+			m.rec.EmitNow(core, obs.EvShootdown, base, int64(remote))
+		}
+	}
 
 	span := int(size.Span())
 	dirty := false
@@ -505,6 +552,9 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64) {
 		m.run.Add(core, stats.WriteBacks, 1)
 		m.run.Add(core, stats.BytesOut, uint64(size.Bytes()))
 		bytes = size.Bytes()
+		if m.rec != nil {
+			m.rec.EmitNow(core, obs.EvWriteBack, base, bytes)
+		}
 	}
 	return work, bytes
 }
