@@ -26,9 +26,9 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
+	"cmcp/internal/dense"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 )
@@ -43,9 +43,9 @@ type CMCP struct {
 	capacity int     // resident-mapping capacity (device frames / span)
 	p        float64 // ratio of prioritized pages
 
-	fifo  *policy.List
-	prio  prioHeap
-	index map[sim.PageID]*prioItem
+	fifo *policy.List
+	prio []prioItem  // binary min-heap by (key, seq)
+	pos  dense.Index // base -> heap position
 
 	agePeriod sim.Cycles
 	ageDecay  float64
@@ -79,36 +79,68 @@ type prioItem struct {
 	base sim.PageID
 	key  float64
 	seq  uint64 // FIFO tie-break: older first
-	pos  int
 }
 
-// prioHeap is a min-heap: the root is the lowest-priority page, i.e.
-// the next to be displaced or evicted from the priority group.
-type prioHeap []*prioItem
+// The priority group is a value-typed binary min-heap: the root is the
+// lowest-priority page, i.e. the next to be displaced or evicted from
+// the group. The page-indexed position table replaces the old
+// map[PageID]*prioItem, so membership tests and Remove never hash or
+// allocate. (key, seq) with unique seq is a total order, so the victim
+// sequence does not depend on heap layout.
 
-func (h prioHeap) Len() int { return len(h) }
-func (h prioHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+func prioLess(a, b *prioItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h prioHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].pos = i
-	h[j].pos = j
+
+func (c *CMCP) prioSwap(i, j int) {
+	c.prio[i], c.prio[j] = c.prio[j], c.prio[i]
+	c.pos.Set(c.prio[i].base, int32(i))
+	c.pos.Set(c.prio[j].base, int32(j))
 }
-func (h *prioHeap) Push(x any) {
-	it := x.(*prioItem)
-	it.pos = len(*h)
-	*h = append(*h, it)
+
+func (c *CMCP) prioUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !prioLess(&c.prio[i], &c.prio[parent]) {
+			break
+		}
+		c.prioSwap(i, parent)
+		i = parent
+	}
 }
-func (h *prioHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (c *CMCP) prioDown(i int) {
+	n := len(c.prio)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && prioLess(&c.prio[l], &c.prio[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && prioLess(&c.prio[r], &c.prio[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		c.prioSwap(i, least)
+		i = least
+	}
+}
+
+// prioRemoveAt deletes heap slot i, restoring heap order.
+func (c *CMCP) prioRemoveAt(i int) prioItem {
+	last := len(c.prio) - 1
+	c.prioSwap(i, last)
+	it := c.prio[last]
+	c.prio = c.prio[:last]
+	c.pos.Delete(it.base)
+	if i < last {
+		c.prioDown(i)
+		c.prioUp(i)
+	}
 	return it
 }
 
@@ -141,6 +173,16 @@ func WithObserver(o Observer) Option {
 	return func(c *CMCP) { c.observer = o }
 }
 
+// WithArena pre-sizes the FIFO list and position table for page bases
+// in [0, hint), drawing their slices from sc (RunMany's per-worker
+// scratch pool).
+func WithArena(sc *dense.Scratch, hint int) Option {
+	return func(c *CMCP) {
+		c.fifo = policy.NewListIn(sc, hint)
+		c.pos = dense.NewIndex(sc, hint)
+	}
+}
+
 // New creates a CMCP policy. host supplies core-map counts (PSPT);
 // capacity is the number of mappings the device can hold and bounds the
 // priority group at p*capacity.
@@ -153,7 +195,7 @@ func New(host policy.Host, capacity int, opts ...Option) *CMCP {
 		capacity:  capacity,
 		p:         DefaultP,
 		fifo:      policy.NewList(),
-		index:     make(map[sim.PageID]*prioItem),
+		pos:       dense.NewIndex(nil, 0),
 		agePeriod: sim.DefaultCostModel().AgePeriod,
 		ageDecay:  1.0,
 	}
@@ -202,11 +244,12 @@ func (c *CMCP) PTESetup(base sim.PageID) {
 		count = 1
 	}
 	key := float64(count)
-	if it, ok := c.index[base]; ok {
+	if i := c.pos.Get(base); i >= 0 {
 		// Already prioritized: refresh the key if sharing grew.
-		if key > it.key {
-			it.key = key
-			heap.Fix(&c.prio, it.pos)
+		if key > c.prio[i].key {
+			c.prio[i].key = key
+			c.prioDown(int(i))
+			c.prioUp(int(i))
 		}
 		return
 	}
@@ -235,12 +278,10 @@ func (c *CMCP) tryAdmit(base sim.PageID, key float64) bool {
 		c.pushPrio(base, key)
 		return true
 	}
-	min := c.prio[0]
-	if key <= min.key {
+	if key <= c.prio[0].key {
 		return false
 	}
-	heap.Pop(&c.prio)
-	delete(c.index, min.base)
+	min := c.prioRemoveAt(0)
 	c.fifo.PushTail(min.base)
 	if c.observer != nil {
 		c.observer.NoteDemotion(min.base)
@@ -257,9 +298,9 @@ func (c *CMCP) tryPromote(base sim.PageID, key float64) bool {
 
 func (c *CMCP) pushPrio(base sim.PageID, key float64) {
 	c.seq++
-	it := &prioItem{base: base, key: key, seq: c.seq}
-	c.index[base] = it
-	heap.Push(&c.prio, it)
+	c.prio = append(c.prio, prioItem{base: base, key: key, seq: c.seq})
+	c.pos.Set(base, int32(len(c.prio)-1))
+	c.prioUp(len(c.prio) - 1)
 	if c.observer != nil {
 		c.observer.NotePromotion(base, key)
 	}
@@ -276,16 +317,14 @@ func (c *CMCP) Victim() (sim.PageID, bool) {
 	if len(c.prio) == 0 {
 		return 0, false
 	}
-	it := heap.Pop(&c.prio).(*prioItem)
-	delete(c.index, it.base)
+	it := c.prioRemoveAt(0)
 	return it.base, true
 }
 
 // Remove implements policy.Policy.
 func (c *CMCP) Remove(base sim.PageID) {
-	if it, ok := c.index[base]; ok {
-		heap.Remove(&c.prio, it.pos)
-		delete(c.index, base)
+	if i := c.pos.Get(base); i >= 0 {
+		c.prioRemoveAt(int(i))
 		return
 	}
 	c.fifo.Remove(base)
@@ -311,15 +350,14 @@ func (c *CMCP) Tick(now sim.Cycles) {
 		return
 	}
 	c.nextAge = now + c.agePeriod
-	for _, it := range c.prio {
-		it.key -= c.ageDecay
+	for i := range c.prio {
+		c.prio[i].key -= c.ageDecay
 	}
 	// Keys changed uniformly, so heap order is preserved; only drain
 	// the underflowed minimums and any excess over the (possibly
 	// reduced) bound.
 	for len(c.prio) > 0 && (c.prio[0].key < 1 || len(c.prio) > c.maxPrio()) {
-		it := heap.Pop(&c.prio).(*prioItem)
-		delete(c.index, it.base)
+		it := c.prioRemoveAt(0)
 		c.fifo.PushTail(it.base)
 		if c.observer != nil {
 			c.observer.NoteDemotion(it.base)

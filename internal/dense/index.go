@@ -1,0 +1,108 @@
+package dense
+
+import "cmcp/internal/sim"
+
+// Index is a page-indexed replacement for map[sim.PageID]int32-shaped
+// indexes (heap positions, slice offsets, store handles). Values are
+// stored as v+1 so the zero slice element means "absent"; slabs from a
+// Scratch therefore start out empty without an O(n) sentinel fill.
+type Index struct {
+	sc *Scratch
+	v  []int32
+}
+
+// NewIndex returns an index pre-sized for pages in [0, hint).
+func NewIndex(sc *Scratch, hint int) Index {
+	return Index{sc: sc, v: sc.I32(hint)}
+}
+
+// Get returns the value stored for page, or -1 when absent.
+func (x *Index) Get(page sim.PageID) int32 {
+	if page < 0 || page >= sim.PageID(len(x.v)) {
+		return -1
+	}
+	return x.v[page] - 1
+}
+
+// Has reports whether page has a stored value.
+func (x *Index) Has(page sim.PageID) bool {
+	return page >= 0 && page < sim.PageID(len(x.v)) && x.v[page] != 0
+}
+
+// Set stores v (which must be >= 0) for page, growing as needed.
+func (x *Index) Set(page sim.PageID, v int32) {
+	if page >= sim.PageID(len(x.v)) {
+		x.grow(int(page) + 1)
+	}
+	x.v[page] = v + 1
+}
+
+// Delete removes page's value, reporting whether one was present.
+func (x *Index) Delete(page sim.PageID) bool {
+	if page < 0 || page >= sim.PageID(len(x.v)) || x.v[page] == 0 {
+		return false
+	}
+	x.v[page] = 0
+	return true
+}
+
+// Cap returns the exclusive upper bound of pages currently indexable
+// without growth (Range iterates [0, Cap)).
+func (x *Index) Cap() int { return len(x.v) }
+
+// Range calls fn for every present page in ascending page order until
+// fn returns false. fn must not mutate the index.
+func (x *Index) Range(fn func(page sim.PageID, v int32) bool) {
+	for p, raw := range x.v {
+		if raw != 0 && !fn(sim.PageID(p), raw-1) {
+			return
+		}
+	}
+}
+
+func (x *Index) grow(n int) {
+	nv := x.sc.I32(ceilPow2(n))
+	copy(nv, x.v)
+	x.v = nv
+}
+
+// Words is a page-indexed replacement for map[sim.PageID]uint64-shaped
+// tables (packed mapping records, counters). The zero value of an
+// element means "absent"; callers encode presence into their packing.
+type Words struct {
+	sc *Scratch
+	v  []uint64
+}
+
+// NewWords returns a table pre-sized for pages in [0, hint).
+func NewWords(sc *Scratch, hint int) Words {
+	return Words{sc: sc, v: sc.U64(hint)}
+}
+
+// Get returns the word stored for page (zero when never set).
+func (w *Words) Get(page sim.PageID) uint64 {
+	if page < 0 || page >= sim.PageID(len(w.v)) {
+		return 0
+	}
+	return w.v[page]
+}
+
+// Set stores word for page, growing as needed.
+func (w *Words) Set(page sim.PageID, word uint64) {
+	if page >= sim.PageID(len(w.v)) {
+		if word == 0 {
+			return // zero is "absent"; nothing to record
+		}
+		nv := w.sc.U64(ceilPow2(int(page) + 1))
+		copy(nv, w.v)
+		w.v = nv
+	}
+	w.v[page] = word
+}
+
+// Len returns the exclusive upper bound of pages currently stored.
+func (w *Words) Len() int { return len(w.v) }
+
+// Slice exposes the backing slice for tight loops (decay sweeps). The
+// caller may mutate elements but not the length.
+func (w *Words) Slice() []uint64 { return w.v }

@@ -1,0 +1,47 @@
+package dense
+
+// Store is a chunked object pool with stable pointers and int32
+// handles. Records live in fixed-size chunks that are never moved, so
+// a *T obtained from At stays valid for the record's lifetime even as
+// the store grows — the property pspt relies on for *Mapping. Freed
+// slots are zeroed and recycled through a free list, so a re-allocated
+// handle behaves exactly like a freshly allocated record.
+type Store[T any] struct {
+	chunks [][]T
+	free   []int32
+	next   int32 // lowest never-allocated handle
+}
+
+const (
+	storeChunkBits = 8
+	storeChunkSize = 1 << storeChunkBits
+	storeChunkMask = storeChunkSize - 1
+)
+
+// Alloc returns a handle and pointer to a zeroed record.
+func (s *Store[T]) Alloc() (int32, *T) {
+	if n := len(s.free); n > 0 {
+		h := s.free[n-1]
+		s.free = s.free[:n-1]
+		return h, s.At(h)
+	}
+	h := s.next
+	s.next++
+	if int(h)>>storeChunkBits == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, storeChunkSize))
+	}
+	return h, s.At(h)
+}
+
+// At returns the record for handle h.
+func (s *Store[T]) At(h int32) *T {
+	return &s.chunks[h>>storeChunkBits][h&storeChunkMask]
+}
+
+// Free zeroes h's record and recycles the handle. The caller must not
+// use the handle or previously obtained pointers afterwards.
+func (s *Store[T]) Free(h int32) {
+	var zero T
+	*s.At(h) = zero
+	s.free = append(s.free, h)
+}

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"cmcp/internal/sim"
+	"cmcp/internal/workload"
+)
+
+func TestFramesClampsToOneMapping(t *testing.T) {
+	// A vanishing ratio still yields one whole mapping's worth of frames.
+	if got := Frames(100, 0.0001, sim.Size4k); got != 1 {
+		t.Errorf("4k: got %d frames, want 1", got)
+	}
+	if got := Frames(100, 0.0001, sim.Size64k); got != int(sim.Span64k) {
+		t.Errorf("64k: got %d frames, want %d", got, sim.Span64k)
+	}
+	if got := Frames(1000, 0.0001, sim.Size2M); got != int(sim.Span2M) {
+		t.Errorf("2M: got %d frames, want %d", got, sim.Span2M)
+	}
+}
+
+func TestFramesRoundsToWholeMappings(t *testing.T) {
+	// 100 pages at 64 kB = 7 mappings = 112 frames full footprint.
+	// Half of that is 56, which must round up to a whole mapping: 64.
+	if got := Frames(100, 0.5, sim.Size64k); got != 64 {
+		t.Errorf("64k rounding: got %d, want 64", got)
+	}
+	// 1000 pages at 2 MB = 2 mappings = 1024 frames; half is exactly one
+	// mapping, no rounding needed.
+	if got := Frames(1000, 0.5, sim.Size2M); got != 512 {
+		t.Errorf("2M: got %d, want 512", got)
+	}
+}
+
+func TestFramesCapsAtFullFootprint(t *testing.T) {
+	// Ratios above 1 never allocate beyond the (mapping-rounded) footprint.
+	if got := Frames(100, 2.0, sim.Size4k); got != 100 {
+		t.Errorf("4k: got %d, want 100", got)
+	}
+	if got := Frames(100, 1.0, sim.Size64k); got != 112 {
+		t.Errorf("64k: full footprint rounds to whole mappings: got %d, want 112", got)
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	good := Config{
+		Cores:       1,
+		Workload:    workload.SCALE().Scale(0.01),
+		MemoryRatio: 1,
+		PageSize:    sim.Size4k,
+		Policy:      PolicySpec{Kind: FIFO, P: -1},
+	}
+	bad := good
+	bad.Cores = 0
+	_, err := RunMany([]Config{good, bad, good}, 2)
+	if err == nil {
+		t.Fatal("invalid config must fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "run 1") {
+		t.Errorf("error %q does not identify the failing run index", err)
+	}
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"testing"
+
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// The golden table below was captured from the engine BEFORE the dense
+// data-structure and scheduler rewrite (map-keyed metadata plus
+// container/heap). Every per-policy counter, runtime and resident count
+// must stay bit-identical: the rewrite changes memory layout, not
+// simulated behaviour. If an intentional behaviour change ever breaks
+// this test, re-capture the table in the same commit and say why.
+
+type goldenRun struct {
+	Runtime  sim.Cycles
+	Resident int
+	Counters [stats.NumCounters]uint64 // Total() per counter, index order
+}
+
+var goldenRuns = map[string]goldenRun{
+	"FIFO":           {Runtime: 46779762, Resident: 461, Counters: [stats.NumCounters]uint64{2861, 1951, 4031, 4031, 9636, 4824, 4812, 2861, 2401, 11718656, 9834496, 1032994, 0, 180000}},
+	"LRU":            {Runtime: 73258880, Resident: 461, Counters: [stats.NumCounters]uint64{1971, 820, 34377, 2252, 32133, 0, 32133, 1971, 1509, 8073216, 6180864, 277483, 0, 180000}},
+	"CMCP":           {Runtime: 40822795, Resident: 461, Counters: [stats.NumCounters]uint64{1996, 757, 2326, 2326, 8885, 6130, 2755, 1996, 1766, 8175616, 7233536, 859493, 0, 180000}},
+	"CLOCK":          {Runtime: 52871113, Resident: 461, Counters: [stats.NumCounters]uint64{2126, 988, 13819, 2526, 11788, 149, 11639, 2126, 1664, 8708096, 6815744, 201641, 0, 180000}},
+	"LFU":            {Runtime: 79270182, Resident: 461, Counters: [stats.NumCounters]uint64{2834, 1926, 36687, 4008, 32712, 0, 32712, 2834, 2373, 11608064, 9719808, 660346, 0, 180000}},
+	"Random":         {Runtime: 48158024, Resident: 461, Counters: [stats.NumCounters]uint64{3136, 1734, 4204, 4204, 9593, 4723, 4870, 3136, 2780, 12845056, 11386880, 992692, 0, 180000}},
+	"FIFO/regularPT": {Runtime: 63760892, Resident: 461, Counters: [stats.NumCounters]uint64{2905, 0, 20335, 20335, 9653, 4781, 4872, 2905, 2445, 11898880, 10014720, 0, 0, 180000}},
+	"CMCP/adaptive":  {Runtime: 60531062, Resident: 100, Counters: [stats.NumCounters]uint64{3872, 210, 3547, 3547, 4082, 0, 4082, 3828, 3256, 56410112, 38465536, 7848036, 0, 180000}},
+	"CMCP/64k":       {Runtime: 45522393, Resident: 29, Counters: [stats.NumCounters]uint64{1892, 574, 2146, 2146, 2466, 0, 2466, 1892, 1876, 123994112, 122945536, 13939812, 0, 180000}},
+	"CMCP/rebuild":   {Runtime: 48536231, Resident: 461, Counters: [stats.NumCounters]uint64{2251, 19129, 21344, 140, 21380, 0, 21380, 2251, 2007, 9220096, 8220672, 462859, 0, 180000}},
+}
+
+// goldenConfig is the pinned run configuration the table was captured
+// under. Do not change it without re-capturing every entry.
+func goldenConfig() Config {
+	return Config{
+		Cores:       8,
+		Workload:    workload.SCALE().Scale(0.05),
+		MemoryRatio: 0.5,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Seed:        7,
+	}
+}
+
+func goldenVariants() map[string]Config {
+	vs := make(map[string]Config)
+	for _, k := range []PolicyKind{FIFO, LRU, CMCP, CLOCK, LFU, Random} {
+		cfg := goldenConfig()
+		cfg.Policy = PolicySpec{Kind: k, P: -1}
+		vs[k.String()] = cfg
+	}
+	cfg := goldenConfig()
+	cfg.Policy = PolicySpec{Kind: FIFO, P: -1}
+	cfg.Tables = vm.RegularPT
+	vs["FIFO/regularPT"] = cfg
+
+	cfg = goldenConfig()
+	cfg.Policy = PolicySpec{Kind: CMCP, P: 0.875}
+	cfg.AdaptivePageSize = true
+	vs["CMCP/adaptive"] = cfg
+
+	cfg = goldenConfig()
+	cfg.Policy = PolicySpec{Kind: CMCP, P: 0.5}
+	cfg.PageSize = sim.Size64k
+	vs["CMCP/64k"] = cfg
+
+	cfg = goldenConfig()
+	cfg.Policy = PolicySpec{Kind: CMCP, P: 0.5}
+	cfg.PSPTRebuildPeriod = 300_000
+	vs["CMCP/rebuild"] = cfg
+	return vs
+}
+
+func TestGoldenCountersBitIdentical(t *testing.T) {
+	for name, cfg := range goldenVariants() {
+		t.Run(name, func(t *testing.T) {
+			want, ok := goldenRuns[name]
+			if !ok {
+				t.Fatalf("no golden entry for %q", name)
+			}
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runtime != want.Runtime {
+				t.Errorf("runtime = %d, want %d", res.Runtime, want.Runtime)
+			}
+			if res.Resident != want.Resident {
+				t.Errorf("resident = %d, want %d", res.Resident, want.Resident)
+			}
+			for c := 0; c < stats.NumCounters; c++ {
+				if got := res.Run.Total(stats.Counter(c)); got != want.Counters[c] {
+					t.Errorf("%s = %d, want %d", stats.Counter(c).Name(), got, want.Counters[c])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenViaRunMany re-runs two golden variants through the
+// parallel driver: the per-worker scratch arenas must not perturb
+// results, and back-to-back runs on one recycled arena must match the
+// fresh-arena outcome exactly.
+func TestGoldenViaRunMany(t *testing.T) {
+	vs := goldenVariants()
+	cfgs := []Config{vs["FIFO"], vs["CMCP"], vs["FIFO"], vs["CMCP"]}
+	results, err := RunMany(cfgs, 1) // one worker: all four share an arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		name := []string{"FIFO", "CMCP", "FIFO", "CMCP"}[i]
+		want := goldenRuns[name]
+		if res.Runtime != want.Runtime {
+			t.Errorf("run %d (%s): runtime = %d, want %d", i, name, res.Runtime, want.Runtime)
+		}
+		for c := 0; c < stats.NumCounters; c++ {
+			if got := res.Run.Total(stats.Counter(c)); got != want.Counters[c] {
+				t.Errorf("run %d (%s): %s = %d, want %d", i, name, stats.Counter(c).Name(), got, want.Counters[c])
+			}
+		}
+	}
+}

@@ -9,10 +9,10 @@
 package machine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cmcp/internal/core"
+	"cmcp/internal/dense"
 	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
@@ -161,8 +161,9 @@ func Frames(pages int, ratio float64, size sim.PageSize) int {
 	return f
 }
 
-// buildPolicy resolves the policy factory for a run.
-func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
+// buildPolicy resolves the policy factory for a run. pages and sc size
+// the policy's page-indexed bookkeeping (see vm.Config.Pages/Scratch).
+func buildPolicy(cfg Config, frames, pages int, sc *dense.Scratch) (vm.PolicyFactory, error) {
 	if cfg.Policy.Factory != nil {
 		return cfg.Policy.Factory, nil
 	}
@@ -170,7 +171,7 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 	capacity := frames / span
 	switch cfg.Policy.Kind {
 	case FIFO:
-		return func(policy.Host) policy.Policy { return policy.NewFIFO() }, nil
+		return func(policy.Host) policy.Policy { return policy.NewFIFOIn(sc, pages) }, nil
 	case LRU:
 		return func(h policy.Host) policy.Policy {
 			// The paper's kernel scans every 10 ms over runs of minutes.
@@ -182,7 +183,7 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 			if period == 0 {
 				period = 50_000
 			}
-			opts := []policy.LRUOption{policy.WithScanPeriod(period)}
+			opts := []policy.LRUOption{policy.WithScanPeriod(period), policy.WithLRUArena(sc, pages)}
 			batch := cfg.Policy.ScanBatch
 			if batch == 0 {
 				batch = capacity // high-pressure regime: scan everything
@@ -192,7 +193,7 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 		}, nil
 	case CMCP:
 		return func(h policy.Host) policy.Policy {
-			opts := []core.Option{}
+			opts := []core.Option{core.WithArena(sc, pages)}
 			if cfg.Policy.P >= 0 {
 				opts = append(opts, core.WithP(cfg.Policy.P))
 			}
@@ -205,14 +206,14 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 			return core.New(h, capacity, opts...)
 		}, nil
 	case CLOCK:
-		return func(h policy.Host) policy.Policy { return policy.NewClock(h) }, nil
+		return func(h policy.Host) policy.Policy { return policy.NewClockIn(h, sc, pages) }, nil
 	case LFU:
 		return func(h policy.Host) policy.Policy {
 			period := cfg.Policy.ScanPeriod
 			if period == 0 {
 				period = 50_000 // compressed like LRU's; see above
 			}
-			opts := []policy.LFUOption{policy.WithLFUScanPeriod(period)}
+			opts := []policy.LFUOption{policy.WithLFUScanPeriod(period), policy.WithLFUArena(sc, pages)}
 			batch := cfg.Policy.ScanBatch
 			if batch == 0 {
 				batch = capacity
@@ -221,38 +222,122 @@ func buildPolicy(cfg Config, frames int) (vm.PolicyFactory, error) {
 			return policy.NewLFU(h, opts...)
 		}, nil
 	case Random:
-		return func(policy.Host) policy.Policy { return policy.NewRandom(cfg.Seed ^ 0xabcdef) }, nil
+		return func(policy.Host) policy.Policy { return policy.NewRandomIn(cfg.Seed^0xabcdef, sc, pages) }, nil
 	default:
 		return nil, fmt.Errorf("machine: unknown policy kind %v", cfg.Policy.Kind)
 	}
 }
 
-// coreEvent is one schedulable entity: an application core or the
-// scanner pseudo-core.
-type coreEvent struct {
-	id     sim.CoreID
-	clock  sim.Cycles
-	stream workload.Stream // nil for the scanner
+// eventKey packs one schedulable entity — an application core or the
+// scanner pseudo-core — into a single uint64: the virtual clock in the
+// high 48 bits, the core ID in the low 16. Unsigned comparison of keys
+// IS the scheduler's deterministic (clock, id) order, so the heap works
+// on plain integers: one-instruction compares, 8-byte moves, no GC
+// write barriers. IDs are unique, making the order total with no equal
+// elements; every correct heap pops the same sequence regardless of
+// its internal layout, so bit-reproducibility does not depend on the
+// heap's shape. The packing bounds one run at 2^48 cycles (~3 days of
+// simulated 1 GHz time; real runs are under 2^27) and 2^16-1 schedulable
+// entities; Simulate rejects configs beyond the latter.
+type eventKey uint64
+
+const eventIDBits = 16
+
+// maxEngineCores is the schedulable-entity limit imposed by the packed
+// event key: all application cores plus the scanner must fit in 16 bits.
+const maxEngineCores = 1<<eventIDBits - 2
+
+func makeEvent(clock sim.Cycles, id sim.CoreID) eventKey {
+	return eventKey(clock)<<eventIDBits | eventKey(uint16(id))
 }
 
-// eventHeap orders by (clock, id) for deterministic tie-breaking.
-type eventHeap []*coreEvent
+func (e eventKey) clock() sim.Cycles { return sim.Cycles(e >> eventIDBits) }
+func (e eventKey) id() sim.CoreID    { return sim.CoreID(e & (1<<eventIDBits - 1)) }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].clock != h[j].clock {
-		return h[i].clock < h[j].clock
+// eventQueue is a monomorphic 4-ary min-heap over packed event keys.
+// Versus container/heap it removes all interface dispatch and per-push
+// boxing, and the wider nodes halve the tree depth: sift-down does more
+// comparisons per level but far fewer cache-missing loads (a 64-byte
+// line holds a full 4-child group plus its neighbors). push and the
+// sifts hold the moving element out and shift holes instead of
+// swapping.
+type eventQueue struct {
+	ev []eventKey
+}
+
+func (q *eventQueue) reset() { q.ev = q.ev[:0] }
+
+func (q *eventQueue) push(e eventKey) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if e >= q.ev[p] {
+			break
+		}
+		q.ev[i] = q.ev[p]
+		i = p
 	}
-	return h[i].id < h[j].id
+	q.ev[i] = e
 }
-func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)     { *h = append(*h, x.(*coreEvent)) }
-func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() eventKey {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	e := q.ev[n]
+	q.ev = q.ev[:n]
+	if n > 0 {
+		q.ev[0] = e
+		q.fixTop()
+	}
+	return top
+}
+
+// fixTop restores heap order after the root's clock advanced in place.
+// The engine's dominant operation is "take the earliest core, advance
+// its clock, reschedule it": doing that as an in-place root update plus
+// one sift-down costs half of a pop+push round trip.
+func (q *eventQueue) fixTop() {
+	n := len(q.ev)
+	e := q.ev[0]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		least := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if q.ev[k] < q.ev[least] {
+				least = k
+			}
+		}
+		if q.ev[least] >= e {
+			break
+		}
+		q.ev[i] = q.ev[least]
+		i = least
+	}
+	q.ev[i] = e
+}
 
 // Simulate executes one run to completion and returns its Result.
-func Simulate(cfg Config) (*Result, error) {
+func Simulate(cfg Config) (*Result, error) { return simulate(cfg, nil) }
+
+// simulate is Simulate with an optional scratch arena supplying the
+// run's page-indexed tables; RunMany passes a per-worker arena it
+// recycles between runs. The Result references no scratch storage.
+func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("machine: %d cores", cfg.Cores)
+	}
+	if cfg.Cores > maxEngineCores {
+		return nil, fmt.Errorf("machine: %d cores exceeds the scheduler limit of %d", cfg.Cores, maxEngineCores)
 	}
 	if cfg.MemoryRatio <= 0 {
 		cfg.MemoryRatio = 1
@@ -267,7 +352,7 @@ func Simulate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	frames := Frames(layout.TotalPages, cfg.MemoryRatio, cfg.PageSize)
-	factory, err := buildPolicy(cfg, frames)
+	factory, err := buildPolicy(cfg, frames, layout.TotalPages, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +365,8 @@ func Simulate(cfg Config) (*Result, error) {
 		Cost:     cfg.Cost,
 		Verify:   cfg.Verify,
 		Adaptive: cfg.AdaptivePageSize,
+		Pages:    layout.TotalPages,
+		Scratch:  sc,
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
 		Probe:             cfg.Probe,
@@ -289,18 +376,18 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 
 	run := mgr.Run()
+	events := eventQueue{ev: make([]eventKey, 0, cfg.Cores+1)}
 	var t0 sim.Cycles
 	if !cfg.NoWarmup {
 		// Warm-up: every core touches its population once, bringing the
 		// resident set and TLBs to steady state, then all cores
 		// synchronize at a barrier and the counters are rebased.
-		t0 = runPhase(mgr, cfg, layout.WarmupStreams(), 0)
-		warm := run.Clone()
+		t0 = runPhase(mgr, cfg, &events, layout.WarmupStreams(), 0)
+		warm := run.CloneIn(sc)
 		for c := 0; c < cfg.Cores; c++ {
 			mgr.TakeDebt(sim.CoreID(c)) // drop warm-up interrupt debt
 		}
-		end := runPhase(mgr, cfg, layout.Streams(cfg.Seed), t0)
-		_ = end
+		runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), t0)
 		if err := run.Subtract(warm); err != nil {
 			return nil, err
 		}
@@ -312,7 +399,7 @@ func Simulate(cfg Config) (*Result, error) {
 			}
 		}
 	} else {
-		runPhase(mgr, cfg, layout.Streams(cfg.Seed), 0)
+		runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), 0)
 	}
 
 	res := &Result{
@@ -334,54 +421,59 @@ func Simulate(cfg Config) (*Result, error) {
 // all clocks at start. It records per-core finish times and returns the
 // barrier time (the latest finishing clock, scanner included in its own
 // lane but excluded from the barrier).
-func runPhase(mgr *vm.Manager, cfg Config, streams []workload.Stream, start sim.Cycles) sim.Cycles {
+func runPhase(mgr *vm.Manager, cfg Config, events *eventQueue, streams []workload.Stream, start sim.Cycles) sim.Cycles {
 	run := mgr.Run()
-	var events eventHeap
+	events.reset()
 	for c := 0; c < cfg.Cores; c++ {
-		events = append(events, &coreEvent{id: sim.CoreID(c), clock: start, stream: streams[c]})
+		events.push(makeEvent(start, sim.CoreID(c)))
 	}
-	scanner := &coreEvent{id: sim.ScannerCore(cfg.Cores), clock: start}
-	events = append(events, scanner)
-	heap.Init(&events)
+	scannerID := sim.ScannerCore(cfg.Cores)
+	scannerClock := start
+	events.push(makeEvent(start, scannerID))
 
 	remaining := cfg.Cores
 	var barrier sim.Cycles
 	for remaining > 0 {
-		ev := heap.Pop(&events).(*coreEvent)
-		if ev.stream == nil {
+		// Peek the earliest event and reschedule it in place; only a
+		// retiring core actually leaves the queue.
+		id := events.ev[0].id()
+		clock := events.ev[0].clock()
+		if id == scannerID {
 			// Scanner pseudo-core: run policy periodic work, then
 			// schedule the next tick after the work completes.
-			cost := mgr.Tick(ev.clock)
+			cost := mgr.Tick(clock)
 			if rec := cfg.Probe; rec != nil && rec.Sampling() {
-				sample(rec, mgr, ev.clock, events)
+				sample(rec, mgr, clock, events.ev, scannerID)
 			}
-			next := ev.clock + cfg.TickInterval
-			if done := ev.clock + cost; done > next {
+			next := clock + cfg.TickInterval
+			if done := clock + cost; done > next {
 				next = done
 			}
-			ev.clock = next
-			heap.Push(&events, ev)
+			scannerClock = next
+			events.ev[0] = makeEvent(next, id)
+			events.fixTop()
 			continue
 		}
 		// Deliver pending invalidation IPIs before the next access.
-		if debt := mgr.TakeDebt(ev.id); debt > 0 {
-			ev.clock += debt
-			heap.Push(&events, ev)
+		if debt := mgr.TakeDebt(id); debt > 0 {
+			events.ev[0] = makeEvent(clock+debt, id)
+			events.fixTop()
 			continue
 		}
-		a, ok := ev.stream.Next()
+		a, ok := streams[id].Next()
 		if !ok {
-			run.Finish[ev.id] = ev.clock
-			if ev.clock > barrier {
-				barrier = ev.clock
+			run.Finish[id] = clock
+			if clock > barrier {
+				barrier = clock
 			}
 			remaining--
-			continue // core retires; not re-pushed
+			events.pop() // core retires
+			continue
 		}
-		ev.clock = mgr.Access(ev.id, a.VPN, a.Write, ev.clock)
-		heap.Push(&events, ev)
+		events.ev[0] = makeEvent(mgr.Access(id, a.VPN, a.Write, clock), id)
+		events.fixTop()
 	}
-	run.Finish[scanner.id] = scanner.clock
+	run.Finish[scannerID] = scannerClock
 	return barrier
 }
 
@@ -390,7 +482,7 @@ func runPhase(mgr *vm.Manager, cfg Config, streams []workload.Stream, start sim.
 // (when the policy exposes one) and the virtual-clock skew across the
 // still-running application cores. It runs on the scanner lane, so the
 // sampling resolution is bounded below by Config.TickInterval.
-func sample(rec *obs.Recorder, mgr *vm.Manager, now sim.Cycles, events eventHeap) {
+func sample(rec *obs.Recorder, mgr *vm.Manager, now sim.Cycles, events []eventKey, scannerID sim.CoreID) {
 	rec.MaybeSample(now, func(s *obs.Sample) {
 		run := mgr.Run()
 		for c := 0; c < stats.NumCounters; c++ {
@@ -403,14 +495,14 @@ func sample(rec *obs.Recorder, mgr *vm.Manager, now sim.Cycles, events eventHeap
 		var lo, hi sim.Cycles
 		active := 0
 		for _, ev := range events {
-			if ev.stream == nil {
+			if ev.id() == scannerID {
 				continue
 			}
-			if active == 0 || ev.clock < lo {
-				lo = ev.clock
+			if c := ev.clock(); active == 0 || c < lo {
+				lo = c
 			}
-			if active == 0 || ev.clock > hi {
-				hi = ev.clock
+			if c := ev.clock(); active == 0 || c > hi {
+				hi = c
 			}
 			active++
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"cmcp/internal/dense"
 )
 
 // RunMany executes independent simulations concurrently, preserving
@@ -26,8 +28,14 @@ func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a scratch arena: the page-indexed tables
+			// of run i+1 reuse the slabs of run i instead of reallocating
+			// them. Results never reference scratch storage, so recycling
+			// between runs is safe.
+			sc := &dense.Scratch{}
 			for i := range work {
-				results[i], errs[i] = Simulate(cfgs[i])
+				results[i], errs[i] = simulate(cfgs[i], sc)
+				sc.Recycle()
 			}
 		}()
 	}

@@ -38,6 +38,12 @@ type Table struct {
 	root     node
 	present  int // number of present 4 kB-equivalent leaf PTEs (2M counts as 512)
 	mappings int // number of present mappings of any size
+
+	// One-entry PMD memo for walk. Interior nodes are created lazily
+	// but never removed or replaced, so a cached pointer cannot go
+	// stale. pmdKey is vpn>>(2*radixBits) + 1; zero means empty.
+	pmdKey sim.PageID
+	pmd    *node
 }
 
 // New returns an empty table.
@@ -56,7 +62,13 @@ func levelIndex(vpn sim.PageID, level int) int {
 
 // walk descends to the level-1 (PMD) node for vpn, allocating interior
 // nodes when create is true. It returns nil when the path is absent.
+// Consecutive touches overwhelmingly land in the same 1 GB-ish region,
+// so the PMD memo turns the two-level descent into one compare.
 func (t *Table) walk(vpn sim.PageID, create bool) *node {
+	key := vpn>>(2*radixBits) + 1
+	if t.pmdKey == key {
+		return t.pmd
+	}
 	n := &t.root
 	for level := numLevels - 1; level > 1; level-- {
 		idx := levelIndex(vpn, level)
@@ -70,6 +82,7 @@ func (t *Table) walk(vpn sim.PageID, create bool) *node {
 		}
 		n = next
 	}
+	t.pmdKey, t.pmd = key, n
 	return n
 }
 

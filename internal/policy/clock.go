@@ -1,6 +1,9 @@
 package policy
 
-import "cmcp/internal/sim"
+import (
+	"cmcp/internal/dense"
+	"cmcp/internal/sim"
+)
 
 // Clock implements the classic second-chance CLOCK algorithm. The hand
 // sweeps the resident pages in residence order; a page whose accessed
@@ -17,6 +20,12 @@ type Clock struct {
 // NewClock returns a CLOCK policy backed by host for access bits.
 func NewClock(host Host) *Clock {
 	return &Clock{host: host, list: NewList()}
+}
+
+// NewClockIn is NewClock with the list pre-sized for page bases in
+// [0, hint) and drawn from sc.
+func NewClockIn(host Host, sc *dense.Scratch, hint int) *Clock {
+	return &Clock{host: host, list: NewListIn(sc, hint)}
 }
 
 // Name implements Policy.

@@ -1,6 +1,9 @@
 package policy
 
-import "cmcp/internal/sim"
+import (
+	"cmcp/internal/dense"
+	"cmcp/internal/sim"
+)
 
 // FIFO is the baseline first-in first-out policy: pages are evicted in
 // the order they became resident. It needs no usage statistics and
@@ -12,6 +15,12 @@ type FIFO struct {
 
 // NewFIFO returns an empty FIFO policy.
 func NewFIFO() *FIFO { return &FIFO{list: NewList()} }
+
+// NewFIFOIn returns a FIFO policy whose list is pre-sized for page
+// bases in [0, hint) and drawn from sc.
+func NewFIFOIn(sc *dense.Scratch, hint int) *FIFO {
+	return &FIFO{list: NewListIn(sc, hint)}
+}
 
 // Name implements Policy.
 func (f *FIFO) Name() string { return "FIFO" }

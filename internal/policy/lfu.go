@@ -1,8 +1,7 @@
 package policy
 
 import (
-	"container/heap"
-
+	"cmcp/internal/dense"
 	"cmcp/internal/sim"
 )
 
@@ -13,50 +12,34 @@ import (
 // pages can leave. Victims are minimum-frequency pages. The paper (§3)
 // lists LFU among the access-bit-dependent policies that inherit LRU's
 // shootdown overhead; this implementation makes that measurable.
+//
+// The heap holds items by value with a page-indexed position table:
+// victim selection never allocates, and the (freq, seq) order is a
+// total order, so the pop sequence is independent of heap layout.
 type LFU struct {
 	host       Host
-	heap       lfuHeap
-	index      map[sim.PageID]*lfuItem
+	heap       []lfuItem
+	pos        dense.Index // base -> heap position
 	scanPeriod sim.Cycles
 	scanBatch  int
 	nextScan   sim.Cycles
 	seq        uint64
 	cursor     sim.PageID // resume point for the round-robin scan
+
+	snap, wrap []sim.PageID // reusable Tick snapshot buffers
 }
 
 type lfuItem struct {
 	base sim.PageID
 	freq int32
 	seq  uint64 // FIFO tie-break among equal frequencies
-	pos  int
 }
 
-type lfuHeap []*lfuItem
-
-func (h lfuHeap) Len() int { return len(h) }
-func (h lfuHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+func lfuLess(a, b *lfuItem) bool {
+	if a.freq != b.freq {
+		return a.freq < b.freq
 	}
-	return h[i].seq < h[j].seq
-}
-func (h lfuHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].pos = i
-	h[j].pos = j
-}
-func (h *lfuHeap) Push(x any) {
-	it := x.(*lfuItem)
-	it.pos = len(*h)
-	*h = append(*h, it)
-}
-func (h *lfuHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // LFUOption customizes an LFU instance.
@@ -72,11 +55,17 @@ func WithLFUScanBatch(n int) LFUOption {
 	return func(l *LFU) { l.scanBatch = n }
 }
 
+// WithLFUArena pre-sizes the position table for page bases in
+// [0, hint) with storage drawn from sc.
+func WithLFUArena(sc *dense.Scratch, hint int) LFUOption {
+	return func(l *LFU) { l.pos = dense.NewIndex(sc, hint) }
+}
+
 // NewLFU returns an LFU approximation backed by host.
 func NewLFU(host Host, opts ...LFUOption) *LFU {
 	l := &LFU{
 		host:       host,
-		index:      make(map[sim.PageID]*lfuItem),
+		pos:        dense.NewIndex(nil, 0),
 		scanPeriod: sim.DefaultCostModel().ScanPeriod,
 		scanBatch:  256,
 	}
@@ -89,43 +78,95 @@ func NewLFU(host Host, opts ...LFUOption) *LFU {
 // Name implements Policy.
 func (l *LFU) Name() string { return "LFU" }
 
+// heap plumbing: standard binary min-heap over l.heap, with l.pos
+// tracking each base's slot.
+
+func (l *LFU) swap(i, j int) {
+	l.heap[i], l.heap[j] = l.heap[j], l.heap[i]
+	l.pos.Set(l.heap[i].base, int32(i))
+	l.pos.Set(l.heap[j].base, int32(j))
+}
+
+func (l *LFU) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lfuLess(&l.heap[i], &l.heap[parent]) {
+			break
+		}
+		l.swap(i, parent)
+		i = parent
+	}
+}
+
+func (l *LFU) down(i int) {
+	n := len(l.heap)
+	for {
+		least := i
+		if c := 2*i + 1; c < n && lfuLess(&l.heap[c], &l.heap[least]) {
+			least = c
+		}
+		if c := 2*i + 2; c < n && lfuLess(&l.heap[c], &l.heap[least]) {
+			least = c
+		}
+		if least == i {
+			return
+		}
+		l.swap(i, least)
+		i = least
+	}
+}
+
+func (l *LFU) fix(i int) {
+	l.down(i)
+	l.up(i)
+}
+
+// removeAt deletes heap slot i, restoring heap order.
+func (l *LFU) removeAt(i int) lfuItem {
+	last := len(l.heap) - 1
+	l.swap(i, last)
+	it := l.heap[last]
+	l.heap = l.heap[:last]
+	l.pos.Delete(it.base)
+	if i < last {
+		l.fix(i)
+	}
+	return it
+}
+
 // PTESetup implements Policy. A fault is itself a reference: new pages
 // start at frequency 1, and an additional core's minor fault bumps the
 // estimate.
 func (l *LFU) PTESetup(base sim.PageID) {
-	if it, ok := l.index[base]; ok {
-		it.freq++
-		heap.Fix(&l.heap, it.pos)
+	if i := l.pos.Get(base); i >= 0 {
+		l.heap[i].freq++
+		l.fix(int(i))
 		return
 	}
 	l.seq++
-	it := &lfuItem{base: base, freq: 1, seq: l.seq}
-	l.index[base] = it
-	heap.Push(&l.heap, it)
+	l.heap = append(l.heap, lfuItem{base: base, freq: 1, seq: l.seq})
+	l.pos.Set(base, int32(len(l.heap)-1))
+	l.up(len(l.heap) - 1)
 }
 
 // Victim implements Policy: the minimum-frequency page.
 func (l *LFU) Victim() (sim.PageID, bool) {
-	if l.heap.Len() == 0 {
+	if len(l.heap) == 0 {
 		return 0, false
 	}
-	it := heap.Pop(&l.heap).(*lfuItem)
-	delete(l.index, it.base)
+	it := l.removeAt(0)
 	return it.base, true
 }
 
 // Remove implements Policy.
 func (l *LFU) Remove(base sim.PageID) {
-	it, ok := l.index[base]
-	if !ok {
-		return
+	if i := l.pos.Get(base); i >= 0 {
+		l.removeAt(int(i))
 	}
-	heap.Remove(&l.heap, it.pos)
-	delete(l.index, base)
 }
 
 // Resident implements Policy.
-func (l *LFU) Resident() int { return l.heap.Len() }
+func (l *LFU) Resident() int { return len(l.heap) }
 
 // Tick implements Policy: sample a batch of pages round-robin by base,
 // incrementing frequencies of accessed pages and decaying the rest.
@@ -134,43 +175,40 @@ func (l *LFU) Tick(now sim.Cycles) {
 		return
 	}
 	l.nextScan = now + l.scanPeriod
-	if len(l.index) == 0 {
+	if len(l.heap) == 0 {
 		return
 	}
-	// Snapshot bases after the cursor to sample deterministically.
-	batch := make([]*lfuItem, 0, l.scanBatch)
-	var wrap []*lfuItem
-	for _, it := range l.index {
-		if it.base >= l.cursor {
-			batch = append(batch, it)
-		} else {
-			wrap = append(wrap, it)
+	// Snapshot bases in ascending order, starting at the cursor and
+	// wrapping — the position table's Range is already base-ordered, so
+	// no sort is needed.
+	batch := l.snap[:0]
+	wrap := l.wrap[:0]
+	l.pos.Range(func(base sim.PageID, _ int32) bool {
+		if base >= l.cursor {
+			batch = append(batch, base)
+		} else if len(wrap) < l.scanBatch {
+			wrap = append(wrap, base)
 		}
-	}
-	sortItems(batch)
-	sortItems(wrap)
+		return len(batch) < l.scanBatch
+	})
 	batch = append(batch, wrap...)
 	if len(batch) > l.scanBatch {
 		batch = batch[:l.scanBatch]
 	}
-	for _, it := range batch {
-		if l.host.ScanAccessed(it.base) {
-			it.freq += 2
-		} else if it.freq > 1 {
-			it.freq--
+	for _, base := range batch {
+		i := l.pos.Get(base)
+		if i < 0 {
+			continue
 		}
-		heap.Fix(&l.heap, it.pos)
+		if l.host.ScanAccessed(base) {
+			l.heap[i].freq += 2
+		} else if l.heap[i].freq > 1 {
+			l.heap[i].freq--
+		}
+		l.fix(int(i))
 	}
 	if len(batch) > 0 {
-		l.cursor = batch[len(batch)-1].base + 1
+		l.cursor = batch[len(batch)-1] + 1
 	}
-}
-
-// sortItems sorts by base VPN (insertion sort is fine for scan batches).
-func sortItems(items []*lfuItem) {
-	for i := 1; i < len(items); i++ {
-		for j := i; j > 0 && items[j].base < items[j-1].base; j-- {
-			items[j], items[j-1] = items[j-1], items[j]
-		}
-	}
+	l.snap, l.wrap = batch[:0], wrap[:0]
 }

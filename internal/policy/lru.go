@@ -1,6 +1,9 @@
 package policy
 
-import "cmcp/internal/sim"
+import (
+	"cmcp/internal/dense"
+	"cmcp/internal/sim"
+)
 
 // LRU approximates least-recently-used the way the Linux kernel does
 // (and the way the paper's comparison implementation does, §5.1): pages
@@ -37,6 +40,15 @@ func WithScanPeriod(p sim.Cycles) LRUOption {
 // WithScanBatch caps the number of pages examined per scanner run.
 func WithScanBatch(n int) LRUOption {
 	return func(l *LRU) { l.scanBatch = n }
+}
+
+// WithLRUArena pre-sizes both lists for page bases in [0, hint) with
+// link slices drawn from sc.
+func WithLRUArena(sc *dense.Scratch, hint int) LRUOption {
+	return func(l *LRU) {
+		l.active = NewListIn(sc, hint)
+		l.inactive = NewListIn(sc, hint)
+	}
 }
 
 // NewLRU returns an LRU approximation backed by host for access-bit

@@ -15,6 +15,7 @@
 package policy
 
 import (
+	"cmcp/internal/dense"
 	"cmcp/internal/sim"
 )
 
@@ -66,92 +67,48 @@ type Policy interface {
 
 // List is an intrusive doubly-linked list of page bases with O(1)
 // membership, push, remove and pop, shared by the queue-like policies.
+// It is a thin wrapper over dense.List: links live in page-indexed
+// slices, so there is no per-node allocation and no map hashing on the
+// eviction path.
 type List struct {
-	nodes map[sim.PageID]*listNode
-	head  *listNode // oldest
-	tail  *listNode // newest
+	l dense.List
 }
 
-type listNode struct {
-	base       sim.PageID
-	prev, next *listNode
-}
+// NewList returns an empty list that grows on demand.
+func NewList() *List { return NewListIn(nil, 0) }
 
-// NewList returns an empty list.
-func NewList() *List {
-	return &List{nodes: make(map[sim.PageID]*listNode)}
+// NewListIn returns an empty list pre-sized for page bases in
+// [0, hint), drawing its link slices from sc (both optional).
+func NewListIn(sc *dense.Scratch, hint int) *List {
+	return &List{l: dense.NewList(sc, hint)}
 }
 
 // Len returns the number of elements.
-func (l *List) Len() int { return len(l.nodes) }
+func (l *List) Len() int { return l.l.Len() }
 
 // Has reports whether base is on the list.
-func (l *List) Has(base sim.PageID) bool {
-	_, ok := l.nodes[base]
-	return ok
-}
+func (l *List) Has(base sim.PageID) bool { return l.l.Has(base) }
 
 // PushTail appends base as the newest element. Pushing an existing
 // element is a bug in the caller and panics.
 func (l *List) PushTail(base sim.PageID) {
-	if _, ok := l.nodes[base]; ok {
+	if l.l.Has(base) {
 		panic("policy: page already on list")
 	}
-	n := &listNode{base: base, prev: l.tail}
-	if l.tail != nil {
-		l.tail.next = n
-	} else {
-		l.head = n
-	}
-	l.tail = n
-	l.nodes[base] = n
+	l.l.PushTail(base)
 }
 
 // PopHead removes and returns the oldest element.
-func (l *List) PopHead() (sim.PageID, bool) {
-	if l.head == nil {
-		return 0, false
-	}
-	base := l.head.base
-	l.Remove(base)
-	return base, true
-}
+func (l *List) PopHead() (sim.PageID, bool) { return l.l.PopHead() }
 
 // Remove deletes base if present, reporting whether it was.
-func (l *List) Remove(base sim.PageID) bool {
-	n, ok := l.nodes[base]
-	if !ok {
-		return false
-	}
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		l.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		l.tail = n.prev
-	}
-	delete(l.nodes, base)
-	return true
-}
+func (l *List) Remove(base sim.PageID) bool { return l.l.Remove(base) }
 
 // MoveToTail refreshes base as the newest element.
-func (l *List) MoveToTail(base sim.PageID) bool {
-	if !l.Remove(base) {
-		return false
-	}
-	l.PushTail(base)
-	return true
-}
+func (l *List) MoveToTail(base sim.PageID) bool { return l.l.MoveToTail(base) }
 
 // ForEachFromHead iterates oldest-to-newest until fn returns false.
 // fn must not mutate the list; use collect-then-act patterns.
 func (l *List) ForEachFromHead(fn func(base sim.PageID) bool) {
-	for n := l.head; n != nil; n = n.next {
-		if !fn(n.base) {
-			return
-		}
-	}
+	l.l.ForEachFromHead(fn)
 }

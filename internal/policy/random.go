@@ -1,6 +1,9 @@
 package policy
 
-import "cmcp/internal/sim"
+import (
+	"cmcp/internal/dense"
+	"cmcp/internal/sim"
+)
 
 // Random evicts a uniformly random resident page. It is a sanity
 // baseline: any policy worth running should beat it, and like FIFO it
@@ -8,12 +11,16 @@ import "cmcp/internal/sim"
 type Random struct {
 	rng   *sim.RNG
 	pages []sim.PageID
-	index map[sim.PageID]int
+	index dense.Index // base -> position in pages
 }
 
 // NewRandom returns a random policy seeded deterministically.
-func NewRandom(seed uint64) *Random {
-	return &Random{rng: sim.NewRNG(seed), index: make(map[sim.PageID]int)}
+func NewRandom(seed uint64) *Random { return NewRandomIn(seed, nil, 0) }
+
+// NewRandomIn is NewRandom with the position index pre-sized for page
+// bases in [0, hint) and drawn from sc.
+func NewRandomIn(seed uint64, sc *dense.Scratch, hint int) *Random {
+	return &Random{rng: sim.NewRNG(seed), index: dense.NewIndex(sc, hint)}
 }
 
 // Name implements Policy.
@@ -21,10 +28,10 @@ func (r *Random) Name() string { return "Random" }
 
 // PTESetup implements Policy.
 func (r *Random) PTESetup(base sim.PageID) {
-	if _, ok := r.index[base]; ok {
+	if r.index.Has(base) {
 		return
 	}
-	r.index[base] = len(r.pages)
+	r.index.Set(base, int32(len(r.pages)))
 	r.pages = append(r.pages, base)
 }
 
@@ -42,8 +49,8 @@ func (r *Random) Victim() (sim.PageID, bool) {
 
 // Remove implements Policy.
 func (r *Random) Remove(base sim.PageID) {
-	if i, ok := r.index[base]; ok {
-		r.removeAt(base, i)
+	if i := r.index.Get(base); i >= 0 {
+		r.removeAt(base, int(i))
 	}
 }
 
@@ -51,9 +58,9 @@ func (r *Random) removeAt(base sim.PageID, i int) {
 	last := len(r.pages) - 1
 	moved := r.pages[last]
 	r.pages[i] = moved
-	r.index[moved] = i
+	r.index.Set(moved, int32(i))
 	r.pages = r.pages[:last]
-	delete(r.index, base)
+	r.index.Delete(base)
 }
 
 // Tick implements Policy (no periodic work).

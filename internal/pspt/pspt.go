@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"cmcp/internal/dense"
 	"cmcp/internal/pagetable"
 	"cmcp/internal/sim"
 )
@@ -65,19 +66,31 @@ type Mapping struct {
 }
 
 // PSPT is the per-core partially separated page table set for one
-// address space on n cores.
+// address space on n cores. Mapping records live in a chunked store
+// with stable pointers; a page-indexed table maps each size-aligned
+// base VPN to its record handle, replacing the old map lookup on the
+// fault path with an array read.
 type PSPT struct {
 	n      int
 	tables []*pagetable.Table
-	maps   map[sim.PageID]*Mapping // keyed by size-aligned base VPN
+	store  dense.Store[Mapping]
+	idx    dense.Index // base VPN -> store handle
+	count  int         // live mapping records
+
+	unmapOut   Mapping      // reusable Unmap return record
+	rebuildOut []sim.CoreID // reusable Rebuild target buffer
 }
 
 // New creates a PSPT for n application cores.
-func New(n int) *PSPT {
+func New(n int) *PSPT { return NewSized(n, 0, nil) }
+
+// NewSized is New with the base-VPN index pre-sized for page IDs in
+// [0, pages) and drawn from sc (both optional).
+func NewSized(n, pages int, sc *dense.Scratch) *PSPT {
 	if n <= 0 || n > MaxCores {
 		panic(fmt.Sprintf("pspt: %d cores out of range 1..%d", n, MaxCores))
 	}
-	p := &PSPT{n: n, tables: make([]*pagetable.Table, n), maps: make(map[sim.PageID]*Mapping)}
+	p := &PSPT{n: n, tables: make([]*pagetable.Table, n), idx: dense.NewIndex(sc, pages)}
 	for i := range p.tables {
 		p.tables[i] = pagetable.New()
 	}
@@ -98,8 +111,9 @@ func (p *PSPT) Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageS
 // Mapping returns the bookkeeping record covering vpn, trying each size
 // class's alignment, or nil if the page is not resident.
 func (p *PSPT) Mapping(vpn sim.PageID) *Mapping {
-	for _, s := range []sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M} {
-		if m, ok := p.maps[s.Align(vpn)]; ok && m.Base == s.Align(vpn) {
+	for _, s := range sizeClasses {
+		if h := p.idx.Get(s.Align(vpn)); h >= 0 {
+			m := p.store.At(h)
 			if vpn < m.Base+m.Size.Span() {
 				return m
 			}
@@ -107,6 +121,8 @@ func (p *PSPT) Mapping(vpn sim.PageID) *Mapping {
 	}
 	return nil
 }
+
+var sizeClasses = [3]sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M}
 
 // CoreMapCount returns the number of cores mapping vpn — the quantity
 // CMCP prioritizes by. Zero means not resident.
@@ -163,8 +179,9 @@ func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int6
 	if !size.Aligned(base) {
 		return nil, false, fmt.Errorf("pspt: Map base %d not %v aligned", base, size)
 	}
-	m, ok := p.maps[base]
-	if ok {
+	var m *Mapping
+	if h := p.idx.Get(base); h >= 0 {
+		m = p.store.At(h)
 		if m.Size != size || m.PFN != pfn {
 			return nil, false, fmt.Errorf("pspt: inconsistent remap of base %d: %v/%d vs %v/%d",
 				base, m.Size, m.PFN, size, pfn)
@@ -173,12 +190,15 @@ func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int6
 			return m, false, nil // already mapped by this core
 		}
 	} else {
-		m = &Mapping{Base: base, Size: size, PFN: pfn}
-		p.maps[base] = m
+		var h int32
+		h, m = p.store.Alloc()
+		m.Base, m.Size, m.PFN = base, size, pfn
+		p.idx.Set(base, h)
+		p.count++
 	}
 	if err := p.setInTable(core, base, size, pfn, flags); err != nil {
 		if m.Cores.Count() == 0 {
-			delete(p.maps, base)
+			p.deleteMapping(base)
 		}
 		return nil, false, err
 	}
@@ -232,8 +252,21 @@ func (p *PSPT) Unmap(vpn sim.PageID) (*Mapping, bool) {
 		// before clearing would be cleaner but costs a second walk;
 		// instead the caller tracks frame dirtiness in mem.Device.
 	}
-	delete(p.maps, m.Base)
-	return m, dirty
+	// The record is returned to the caller (shootdown targets), so copy
+	// it out before its store slot is zeroed and recycled. The copy
+	// lives in a reusable field: valid until the next Unmap.
+	p.unmapOut = *m
+	p.deleteMapping(m.Base)
+	return &p.unmapOut, dirty
+}
+
+// deleteMapping frees base's record and index slot.
+func (p *PSPT) deleteMapping(base sim.PageID) {
+	if h := p.idx.Get(base); h >= 0 {
+		p.store.Free(h)
+		p.idx.Delete(base)
+		p.count--
+	}
 }
 
 // Touch simulates the MMU setting accessed/dirty bits on core's private
@@ -309,14 +342,15 @@ func (p *PSPT) ScanAccessed(vpn sim.PageID, dst []sim.CoreID) (accessed bool, ta
 }
 
 // ResidentMappings returns the number of live mapping records.
-func (p *PSPT) ResidentMappings() int { return len(p.maps) }
+func (p *PSPT) ResidentMappings() int { return p.count }
 
-// ForEachMapping calls fn for every live mapping record. Iteration
-// order is unspecified; callers needing determinism must sort.
+// ForEachMapping calls fn for every live mapping record, in ascending
+// base order (the page-indexed table makes that order free).
 func (p *PSPT) ForEachMapping(fn func(*Mapping)) {
-	for _, m := range p.maps {
-		fn(m)
-	}
+	p.idx.Range(func(_ sim.PageID, h int32) bool {
+		fn(p.store.At(h))
+		return true
+	})
 }
 
 // Rebuild drops every core's private PTEs while keeping the mapping
@@ -327,10 +361,10 @@ func (p *PSPT) ForEachMapping(fn func(*Mapping)) {
 // this issue as well"). It calls fn for every dropped (base, cores)
 // pair so the caller can invalidate the affected TLBs.
 func (p *PSPT) Rebuild(fn func(base sim.PageID, targets []sim.CoreID)) {
-	var scratch []sim.CoreID
-	for _, m := range p.maps {
+	scratch := p.rebuildOut
+	p.ForEachMapping(func(m *Mapping) {
 		if m.Cores.Count() == 0 {
-			continue
+			return
 		}
 		scratch = m.Cores.Cores(scratch[:0])
 		for _, c := range scratch {
@@ -340,7 +374,8 @@ func (p *PSPT) Rebuild(fn func(base sim.PageID, targets []sim.CoreID)) {
 		if fn != nil {
 			fn(m.Base, scratch)
 		}
-	}
+	})
+	p.rebuildOut = scratch[:0]
 }
 
 // SharingHistogram returns hist where hist[k] is the number of resident
@@ -348,8 +383,8 @@ func (p *PSPT) Rebuild(fn func(base sim.PageID, targets []sim.CoreID)) {
 // This is the quantity Figure 6 of the paper plots.
 func (p *PSPT) SharingHistogram() []int {
 	hist := make([]int, p.n+1)
-	for _, m := range p.maps {
+	p.ForEachMapping(func(m *Mapping) {
 		hist[m.Cores.Count()]++
-	}
+	})
 	return hist
 }

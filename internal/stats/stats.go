@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cmcp/internal/dense"
 	"cmcp/internal/sim"
 )
 
@@ -97,30 +98,38 @@ func (c Counter) Name() string {
 // per-core counters, per-core finishing times, and the run's metadata.
 type Run struct {
 	Cores    int
-	counters [][]uint64 // [core][counter]
+	counters []uint64 // flat [core*NumCounters+counter]; scanner is row Cores
 	Finish   []sim.Cycles
 }
 
 // NewRun allocates a record for n application cores plus the scanner
 // pseudo-core (index n).
 func NewRun(n int) *Run {
-	r := &Run{Cores: n}
-	r.counters = make([][]uint64, n+1)
-	for i := range r.counters {
-		r.counters[i] = make([]uint64, numCounters)
+	return &Run{
+		Cores:    n,
+		counters: make([]uint64, (n+1)*NumCounters),
+		Finish:   make([]sim.Cycles, n+1),
 	}
-	r.Finish = make([]sim.Cycles, n+1)
-	return r
+}
+
+// NewRunIn is NewRun with storage drawn from sc (nil falls back to
+// make). Used for warm-up snapshots that die with the run.
+func NewRunIn(n int, sc *dense.Scratch) *Run {
+	return &Run{
+		Cores:    n,
+		counters: sc.U64((n + 1) * NumCounters),
+		Finish:   sc.Cycles(n + 1),
+	}
 }
 
 // Add increments counter c for core by delta.
 func (r *Run) Add(core sim.CoreID, c Counter, delta uint64) {
-	r.counters[core][c] += delta
+	r.counters[int(core)*NumCounters+int(c)] += delta
 }
 
 // Get returns the value of counter c for core.
 func (r *Run) Get(core sim.CoreID, c Counter) uint64 {
-	return r.counters[core][c]
+	return r.counters[int(core)*NumCounters+int(c)]
 }
 
 // Total sums counter c over the application cores (excluding the
@@ -128,7 +137,7 @@ func (r *Run) Get(core sim.CoreID, c Counter) uint64 {
 func (r *Run) Total(c Counter) uint64 {
 	var t uint64
 	for i := 0; i < r.Cores; i++ {
-		t += r.counters[i][c]
+		t += r.counters[i*NumCounters+int(c)]
 	}
 	return t
 }
@@ -161,9 +170,9 @@ func (r *Run) Merge(other *Run) error {
 		return fmt.Errorf("stats: merging runs with %d and %d cores", r.Cores, other.Cores)
 	}
 	for i := range r.counters {
-		for c := range r.counters[i] {
-			r.counters[i][c] += other.counters[i][c]
-		}
+		r.counters[i] += other.counters[i]
+	}
+	for i := range r.Finish {
 		if other.Finish[i] > r.Finish[i] {
 			r.Finish[i] = other.Finish[i]
 		}
@@ -173,11 +182,13 @@ func (r *Run) Merge(other *Run) error {
 
 // Clone returns a deep copy of the run record (used to snapshot
 // counters at the end of a warm-up phase).
-func (r *Run) Clone() *Run {
-	c := NewRun(r.Cores)
-	for i := range r.counters {
-		copy(c.counters[i], r.counters[i])
-	}
+func (r *Run) Clone() *Run { return r.CloneIn(nil) }
+
+// CloneIn is Clone with the copy's storage drawn from sc; the copy is
+// only valid until sc is recycled.
+func (r *Run) CloneIn(sc *dense.Scratch) *Run {
+	c := NewRunIn(r.Cores, sc)
+	copy(c.counters, r.counters)
 	copy(c.Finish, r.Finish)
 	return c
 }
@@ -190,9 +201,7 @@ func (r *Run) Subtract(base *Run) error {
 		return fmt.Errorf("stats: subtracting run with %d cores from %d", base.Cores, r.Cores)
 	}
 	for i := range r.counters {
-		for c := range r.counters[i] {
-			r.counters[i][c] -= base.counters[i][c]
-		}
+		r.counters[i] -= base.counters[i]
 	}
 	return nil
 }
@@ -204,9 +213,9 @@ func (r *Run) DivideBy(n uint64) {
 		return
 	}
 	for i := range r.counters {
-		for c := range r.counters[i] {
-			r.counters[i][c] /= n
-		}
+		r.counters[i] /= n
+	}
+	for i := range r.Finish {
 		r.Finish[i] /= sim.Cycles(n)
 	}
 }

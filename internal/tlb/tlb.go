@@ -13,6 +13,7 @@
 package tlb
 
 import (
+	"cmcp/internal/dense"
 	"cmcp/internal/sim"
 )
 
@@ -50,21 +51,56 @@ type entry struct {
 
 // fifoSet is a fixed-capacity, fully associative set with FIFO
 // replacement and lazy queue cleanup (invalidated entries leave stale
-// queue slots that are skipped at eviction time).
+// queue slots that are skipped at eviction time). Presence lives in a
+// page-indexed state table (0 = absent, otherwise size+1) instead of a
+// map: page IDs are dense small integers, so membership is one array
+// read on the per-touch path.
 type fifoSet struct {
-	cap     int
-	entries map[sim.PageID]entry
-	queue   []sim.PageID
-	head    int
+	cap   int
+	n     int // live entries
+	sc    *dense.Scratch
+	state []uint8 // base -> size+1; 0 = absent
+	queue []int32 // FIFO order of bases, with stale slots
+	head  int
 }
 
-func newFifoSet(capacity int) *fifoSet {
-	return &fifoSet{cap: capacity, entries: make(map[sim.PageID]entry, capacity)}
+func newFifoSet(capacity, pages int, sc *dense.Scratch) fifoSet {
+	// The queue holds live entries plus stale slots from invalidations;
+	// compact() trims once the consumed prefix passes 64, so size for
+	// that regime to keep append from reallocating.
+	return fifoSet{
+		cap:   capacity,
+		sc:    sc,
+		state: sc.U8(pages),
+		queue: sc.I32(2*capacity + 80)[:0],
+	}
 }
 
 func (s *fifoSet) has(base sim.PageID) (entry, bool) {
-	e, ok := s.entries[base]
-	return e, ok
+	if base < sim.PageID(len(s.state)) {
+		if v := s.state[base]; v != 0 {
+			return entry{size: sim.PageSize(v - 1)}, true
+		}
+	}
+	return entry{}, false
+}
+
+func (s *fifoSet) setState(base sim.PageID, v uint8) {
+	if base >= sim.PageID(len(s.state)) {
+		ns := s.sc.U8(growCap(int(base) + 1))
+		copy(ns, s.state)
+		s.state = ns
+	}
+	s.state[base] = v
+}
+
+// growCap rounds n up to the next power of two (minimum 8).
+func growCap(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // insert adds base and returns the entry evicted to make room, if any.
@@ -72,39 +108,47 @@ func (s *fifoSet) insert(base sim.PageID, e entry) (sim.PageID, entry, bool) {
 	if s.cap <= 0 {
 		return 0, entry{}, false
 	}
-	if _, ok := s.entries[base]; ok {
+	if _, ok := s.has(base); ok {
 		return 0, entry{}, false // refresh: FIFO ignores re-reference
 	}
 	var evictedBase sim.PageID
 	var evicted entry
 	var hasEvicted bool
-	for len(s.entries) >= s.cap {
+	for s.n >= s.cap {
 		// Pop queue head; skip slots whose entry was invalidated.
-		vb := s.queue[s.head]
+		vb := sim.PageID(s.queue[s.head])
 		s.head++
-		if ev, ok := s.entries[vb]; ok {
-			delete(s.entries, vb)
-			evictedBase, evicted, hasEvicted = vb, ev, true
+		if v := s.state[vb]; v != 0 {
+			s.state[vb] = 0
+			s.n--
+			evictedBase, evicted, hasEvicted = vb, entry{size: sim.PageSize(v - 1)}, true
 		}
 	}
-	s.entries[base] = e
-	s.queue = append(s.queue, base)
+	s.setState(base, uint8(e.size)+1)
+	s.n++
+	s.queue = append(s.queue, int32(base))
 	s.compact()
 	return evictedBase, evicted, hasEvicted
 }
 
 func (s *fifoSet) invalidate(base sim.PageID) bool {
-	if _, ok := s.entries[base]; ok {
-		delete(s.entries, base)
+	if base < sim.PageID(len(s.state)) && s.state[base] != 0 {
+		s.state[base] = 0
+		s.n--
 		return true
 	}
 	return false
 }
 
 func (s *fifoSet) flush() {
-	clear(s.entries)
+	// Every live entry has a queue slot, so clearing the un-consumed
+	// suffix empties the state table in O(queue), not O(pages).
+	for _, qb := range s.queue[s.head:] {
+		s.state[qb] = 0
+	}
 	s.queue = s.queue[:0]
 	s.head = 0
+	s.n = 0
 }
 
 // compact reclaims queue space when the consumed prefix dominates.
@@ -115,24 +159,35 @@ func (s *fifoSet) compact() {
 	}
 }
 
-func (s *fifoSet) len() int { return len(s.entries) }
+func (s *fifoSet) len() int { return s.n }
 
 // TLB is one core's data TLB: three L1 size classes plus a unified L2.
 // It is not safe for concurrent use; the event engine serializes cores.
+// The zero value is unusable; construct with New or NewSized. TLB is a
+// plain value so a machine's per-core TLBs pack into one slice.
 type TLB struct {
-	l1 [3]*fifoSet // indexed by sim.PageSize
-	l2 *fifoSet
+	l1 [3]fifoSet // indexed by sim.PageSize
+	l2 fifoSet
 }
 
-// New creates a TLB with the given geometry.
+// New creates a TLB with the given geometry, sizing its page-state
+// tables on demand.
 func New(cfg Config) *TLB {
-	return &TLB{
-		l1: [3]*fifoSet{
-			sim.Size4k:  newFifoSet(cfg.L1Entries4k),
-			sim.Size64k: newFifoSet(cfg.L1Entries64k),
-			sim.Size2M:  newFifoSet(cfg.L1Entries2M),
+	t := NewSized(cfg, 0, nil)
+	return &t
+}
+
+// NewSized creates a TLB whose state tables are pre-sized for page IDs
+// in [0, pages) and drawn from sc (both optional: pages 0 grows on
+// demand, sc nil allocates normally).
+func NewSized(cfg Config, pages int, sc *dense.Scratch) TLB {
+	return TLB{
+		l1: [3]fifoSet{
+			sim.Size4k:  newFifoSet(cfg.L1Entries4k, pages, sc),
+			sim.Size64k: newFifoSet(cfg.L1Entries64k, pages, sc),
+			sim.Size2M:  newFifoSet(cfg.L1Entries2M, pages, sc),
 		},
-		l2: newFifoSet(cfg.L2Entries),
+		l2: newFifoSet(cfg.L2Entries, pages, sc),
 	}
 }
 

@@ -1,6 +1,9 @@
 package vm
 
-import "cmcp/internal/sim"
+import (
+	"cmcp/internal/dense"
+	"cmcp/internal/sim"
+)
 
 // This file implements the paper's §5.7/§7 future work: "the operating
 // system could monitor page fault frequency and adjust page sizes
@@ -29,11 +32,22 @@ const (
 // cycles), forgetting old behaviour so blocks can be re-promoted.
 const adaptDecayPeriod sim.Cycles = 1_000_000
 
+// blockShift/groupShift convert a PageID to its 2 MB block index and
+// 64 kB group index (log2 of sim.Span2M and sim.Span64k).
+const (
+	blockShift = 9
+	groupShift = 4
+)
+
 // sizeAdapter holds the per-block statistics and residency counters.
+// All three tables are flat slices indexed by block or group number; an
+// out-of-range or zero entry means "no faults seen" / "nothing
+// resident", so absent and zero coincide and no map is needed.
 type sizeAdapter struct {
-	blockFaults map[sim.PageID]uint32 // 2MB-aligned base -> faults this window
-	resInBlock  map[sim.PageID]int32  // live mappings per 2MB block
-	resInGroup  map[sim.PageID]int32  // live mappings per 64kB group
+	sc          *dense.Scratch
+	blockFaults []int32 // per 2MB block: faults this window
+	resInBlock  []int32 // live mappings per 2MB block
+	resInGroup  []int32 // live mappings per 64kB group
 	// recentEvictions gates 2 MB mappings: under eviction pressure a
 	// huge mapping would have to carve a 512-frame aligned hole out of
 	// small resident mappings — a compaction storm. Real kernels
@@ -43,33 +57,68 @@ type sizeAdapter struct {
 	nextDecay       sim.Cycles
 }
 
-func newSizeAdapter() *sizeAdapter {
+func newSizeAdapter(pages int, sc *dense.Scratch) *sizeAdapter {
 	return &sizeAdapter{
-		blockFaults: make(map[sim.PageID]uint32),
-		resInBlock:  make(map[sim.PageID]int32),
-		resInGroup:  make(map[sim.PageID]int32),
+		sc:          sc,
+		blockFaults: sc.I32((pages + sim.Span2M - 1) >> blockShift),
+		resInBlock:  sc.I32((pages + sim.Span2M - 1) >> blockShift),
+		resInGroup:  sc.I32((pages + sim.Span64k - 1) >> groupShift),
 	}
+}
+
+// growI32 returns a slice from sc with the first n slots valid and the
+// old contents copied in.
+func growI32(sc *dense.Scratch, s []int32, n int) []int32 {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	ns := sc.I32(c)
+	copy(ns, s)
+	return ns
+}
+
+func (a *sizeAdapter) blockAt(i int) *int32 {
+	if i >= len(a.blockFaults) {
+		a.blockFaults = growI32(a.sc, a.blockFaults, i+1)
+	}
+	return &a.blockFaults[i]
+}
+
+func (a *sizeAdapter) resBlockAt(i int) *int32 {
+	if i >= len(a.resInBlock) {
+		a.resInBlock = growI32(a.sc, a.resInBlock, i+1)
+	}
+	return &a.resInBlock[i]
+}
+
+func (a *sizeAdapter) resGroupAt(i int) *int32 {
+	if i >= len(a.resInGroup) {
+		a.resInGroup = growI32(a.sc, a.resInGroup, i+1)
+	}
+	return &a.resInGroup[i]
 }
 
 // choose picks the mapping size for a fault at vpn.
 func (a *sizeAdapter) choose(vpn sim.PageID) sim.PageSize {
-	block := sim.Size2M.Align(vpn)
-	group := sim.Size64k.Align(vpn)
-	a.blockFaults[block]++
-	f := a.blockFaults[block]
+	block := int(vpn >> blockShift)
+	group := int(vpn >> groupShift)
+	bf := a.blockAt(block)
+	*bf++
+	f := *bf
 	switch {
 	case f > adaptDemote4k:
 		return sim.Size4k
 	case f > adaptDemote64k:
-		if a.resInGroup[group] == 0 {
+		if *a.resGroupAt(group) == 0 {
 			return sim.Size64k
 		}
 		return sim.Size4k
 	default:
-		if a.resInBlock[block] == 0 && a.recentEvictions == 0 {
+		if *a.resBlockAt(block) == 0 && a.recentEvictions == 0 {
 			return sim.Size2M
 		}
-		if a.resInGroup[group] == 0 {
+		if *a.resGroupAt(group) == 0 {
 			return sim.Size64k
 		}
 		return sim.Size4k
@@ -78,45 +127,45 @@ func (a *sizeAdapter) choose(vpn sim.PageID) sim.PageSize {
 
 // mapped records a new mapping's residency.
 func (a *sizeAdapter) mapped(base sim.PageID, size sim.PageSize) {
-	block := sim.Size2M.Align(base)
-	a.resInBlock[block]++
+	*a.resBlockAt(int(base >> blockShift))++
 	switch size {
 	case sim.Size2M:
 		// A 2MB mapping occupies all 32 groups of its block.
 		for g := sim.PageID(0); g < sim.Span2M; g += sim.Span64k {
-			a.resInGroup[base+g]++
+			*a.resGroupAt(int((base + g) >> groupShift))++
 		}
 	default:
-		a.resInGroup[sim.Size64k.Align(base)]++
+		*a.resGroupAt(int(base >> groupShift))++
 	}
 }
 
 // unmapped reverses mapped.
 func (a *sizeAdapter) unmapped(base sim.PageID, size sim.PageSize) {
 	a.recentEvictions++
-	block := sim.Size2M.Align(base)
-	a.resInBlock[block]--
+	*a.resBlockAt(int(base >> blockShift))--
 	switch size {
 	case sim.Size2M:
 		for g := sim.PageID(0); g < sim.Span2M; g += sim.Span64k {
-			a.resInGroup[base+g]--
+			*a.resGroupAt(int((base + g) >> groupShift))--
 		}
 	default:
-		a.resInGroup[sim.Size64k.Align(base)]--
+		*a.resGroupAt(int(base >> groupShift))--
 	}
 }
 
-// tick decays the fault counters so blocks can be re-promoted.
+// tick decays the fault counters so blocks can be re-promoted. Halving
+// a zero entry keeps it zero, so the flat sweep is equivalent to the
+// old map's delete-or-halve.
 func (a *sizeAdapter) tick(now sim.Cycles) {
 	if now < a.nextDecay {
 		return
 	}
 	a.nextDecay = now + adaptDecayPeriod
-	for b, f := range a.blockFaults {
+	for i, f := range a.blockFaults {
 		if f <= 1 {
-			delete(a.blockFaults, b)
+			a.blockFaults[i] = 0
 		} else {
-			a.blockFaults[b] = f / 2
+			a.blockFaults[i] = f / 2
 		}
 	}
 	a.recentEvictions /= 2

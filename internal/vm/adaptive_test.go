@@ -80,7 +80,7 @@ func TestAdaptiveMixedSizesCoexist(t *testing.T) {
 	m.Access(0, 0, false, 0) // block 0: 2MB
 	// Make block 1 look hot so it demotes.
 	for i := 0; i < 60; i++ {
-		m.adapter.blockFaults[512]++
+		*m.adapter.blockAt(512 >> blockShift)++
 	}
 	m.Access(1, 700, true, 0) // block 1: should be 4k now
 	_, s0, _ := m.as.Lookup(0, 0)
@@ -94,15 +94,15 @@ func TestAdaptiveMixedSizesCoexist(t *testing.T) {
 }
 
 func TestAdapterResidencyCountersBalance(t *testing.T) {
-	a := newSizeAdapter()
+	a := newSizeAdapter(1024, nil)
 	a.mapped(0, sim.Size2M)
 	a.mapped(512, sim.Size64k)
 	a.mapped(528, sim.Size4k)
-	if a.resInBlock[0] != 1 || a.resInBlock[512] != 2 {
+	if a.resInBlock[0] != 1 || a.resInBlock[512>>blockShift] != 2 {
 		t.Errorf("block counters: %v", a.resInBlock)
 	}
-	if a.resInGroup[0] != 1 || a.resInGroup[496] != 1 {
-		t.Errorf("2M mapping must cover its groups: %v", a.resInGroup[496])
+	if a.resInGroup[0] != 1 || a.resInGroup[496>>groupShift] != 1 {
+		t.Errorf("2M mapping must cover its groups: %v", a.resInGroup[496>>groupShift])
 	}
 	a.unmapped(0, sim.Size2M)
 	a.unmapped(512, sim.Size64k)
@@ -120,15 +120,15 @@ func TestAdapterResidencyCountersBalance(t *testing.T) {
 }
 
 func TestAdapterDecay(t *testing.T) {
-	a := newSizeAdapter()
+	a := newSizeAdapter(1024, nil)
 	a.blockFaults[0] = 40
-	a.blockFaults[512] = 1
+	a.blockFaults[512>>blockShift] = 1
 	a.recentEvictions = 8
 	a.tick(adaptDecayPeriod)
 	if a.blockFaults[0] != 20 {
 		t.Errorf("decay: %d", a.blockFaults[0])
 	}
-	if _, ok := a.blockFaults[512]; ok {
+	if a.blockFaults[512>>blockShift] != 0 {
 		t.Error("single-fault entry must be forgotten")
 	}
 	if a.recentEvictions != 4 {

@@ -8,6 +8,7 @@ package vm
 import (
 	"fmt"
 
+	"cmcp/internal/dense"
 	"cmcp/internal/pagetable"
 	"cmcp/internal/pspt"
 	"cmcp/internal/sim"
@@ -80,26 +81,37 @@ type addressSpace interface {
 
 // mappingInfo is the kernel's record of one resident mapping under
 // regular page tables (the OS knows what is mapped; it just cannot know
-// which cores cached the translation).
+// which cores cached the translation). Records pack into one word of a
+// page-indexed table: bit 0 present, bits 1-2 the size class, bits 8+
+// the PFN. A zero word means "not mapped".
 type mappingInfo struct {
 	size sim.PageSize
 	pfn  int64
 }
 
-// sharedAS is the regular-page-table organization.
-type sharedAS struct {
-	cores   int
-	table   *pagetable.Table
-	maps    map[sim.PageID]mappingInfo
-	lock    sim.Resource
-	targets []sim.CoreID // reusable all-cores slice
+func (mi mappingInfo) pack() uint64 {
+	return 1 | uint64(mi.size)<<1 | uint64(mi.pfn)<<8
 }
 
-func newSharedAS(cores int) *sharedAS {
+func unpackMappingInfo(w uint64) mappingInfo {
+	return mappingInfo{size: sim.PageSize(w >> 1 & 3), pfn: int64(w >> 8)}
+}
+
+// sharedAS is the regular-page-table organization.
+type sharedAS struct {
+	cores    int
+	table    *pagetable.Table
+	maps     dense.Words // base -> packed mappingInfo
+	resident int
+	lock     sim.Resource
+	targets  []sim.CoreID // reusable all-cores slice
+}
+
+func newSharedAS(cores, pages int, sc *dense.Scratch) *sharedAS {
 	s := &sharedAS{
 		cores: cores,
 		table: pagetable.New(),
-		maps:  make(map[sim.PageID]mappingInfo),
+		maps:  dense.NewWords(sc, pages),
 	}
 	s.targets = make([]sim.CoreID, cores)
 	for i := range s.targets {
@@ -117,7 +129,7 @@ func (s *sharedAS) ResolveSibling(sim.CoreID, sim.PageID, pagetable.PTE) (sim.Pa
 }
 
 func (s *sharedAS) Map(_ sim.CoreID, base sim.PageID, size sim.PageSize, pfn int64, flags pagetable.PTE) error {
-	if _, ok := s.maps[base]; ok {
+	if s.maps.Get(base) != 0 {
 		return fmt.Errorf("vm: double map of base %d", base)
 	}
 	switch size {
@@ -132,21 +144,26 @@ func (s *sharedAS) Map(_ sim.CoreID, base sim.PageID, size sim.PageSize, pfn int
 			return err
 		}
 	}
-	s.maps[base] = mappingInfo{size: size, pfn: pfn}
+	s.maps.Set(base, mappingInfo{size: size, pfn: pfn}.pack())
+	s.resident++
 	return nil
 }
 
 // find locates the mapping record covering vpn by probing each size
 // class's alignment.
 func (s *sharedAS) find(vpn sim.PageID) (sim.PageID, mappingInfo, bool) {
-	for _, sz := range []sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M} {
+	for _, sz := range sizeClasses {
 		base := sz.Align(vpn)
-		if mi, ok := s.maps[base]; ok && vpn < base+mi.size.Span() {
-			return base, mi, true
+		if w := s.maps.Get(base); w != 0 {
+			if mi := unpackMappingInfo(w); vpn < base+mi.size.Span() {
+				return base, mi, true
+			}
 		}
 	}
 	return 0, mappingInfo{}, false
 }
+
+var sizeClasses = [3]sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M}
 
 func (s *sharedAS) Unmap(vpn sim.PageID) (sim.PageID, sim.PageSize, int64, []sim.CoreID, bool) {
 	base, mi, ok := s.find(vpn)
@@ -161,7 +178,8 @@ func (s *sharedAS) Unmap(vpn sim.PageID) (sim.PageID, sim.PageSize, int64, []sim
 	default:
 		s.table.Clear(base)
 	}
-	delete(s.maps, base)
+	s.maps.Set(base, 0)
+	s.resident--
 	// Centralized bookkeeping: the kernel cannot tell which cores have
 	// the translation cached, so the shootdown must broadcast.
 	return base, mi.size, mi.pfn, s.targets, true
@@ -221,16 +239,19 @@ func (s *sharedAS) ScanAccessed(base sim.PageID) (bool, []sim.CoreID) {
 
 func (s *sharedAS) LockFor(sim.PageID) *sim.Resource { return &s.lock }
 
-func (s *sharedAS) Resident() int { return len(s.maps) }
+func (s *sharedAS) Resident() int { return s.resident }
 
 // psptAS adapts pspt.PSPT to the addressSpace interface.
 type psptAS struct {
 	p       *pspt.PSPT
+	sc      *dense.Scratch
 	scratch []sim.CoreID
-	locks   map[sim.PageID]*sim.Resource
+	locks   []sim.Resource // per-base fault locks, persistent across residency
 }
 
-func newPSPTAS(cores int) *psptAS { return &psptAS{p: pspt.New(cores)} }
+func newPSPTAS(cores, pages int, sc *dense.Scratch) *psptAS {
+	return &psptAS{p: pspt.NewSized(cores, pages, sc), sc: sc, locks: sc.Resources(pages)}
+}
 
 func (a *psptAS) Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
 	return a.p.Lookup(core, vpn)
@@ -281,17 +302,20 @@ func (a *psptAS) LockFor(base sim.PageID) *sim.Resource {
 }
 
 // lockTable keeps per-base locks alive across residency cycles so two
-// cores faulting the same absent page serialize correctly.
+// cores faulting the same absent page serialize correctly. The table is
+// page-indexed: a zero Resource is an idle lock, so no sentinel or
+// insertion is needed.
 func (a *psptAS) lockTable(base sim.PageID) *sim.Resource {
-	if a.locks == nil {
-		a.locks = make(map[sim.PageID]*sim.Resource)
+	if base >= sim.PageID(len(a.locks)) {
+		c := 8
+		for c < int(base)+1 {
+			c <<= 1
+		}
+		nl := a.sc.Resources(c)
+		copy(nl, a.locks)
+		a.locks = nl
 	}
-	l, ok := a.locks[base]
-	if !ok {
-		l = &sim.Resource{}
-		a.locks[base] = l
-	}
-	return l
+	return &a.locks[base]
 }
 
 func (a *psptAS) Resident() int { return a.p.ResidentMappings() }

@@ -1,0 +1,59 @@
+package vm
+
+import (
+	"testing"
+
+	"cmcp/internal/sim"
+)
+
+// These tests are the allocation-regression guard for the dense
+// rewrite: the TLB-hit path must never touch the heap, and a
+// steady-state fault+eviction cycle may only allocate a small bounded
+// amount (amortized slab growth). A regression here silently costs
+// more than most logic bugs, so it fails the build.
+
+func TestAccessTLBHitPathZeroAllocs(t *testing.T) {
+	for _, kind := range []TableKind{PSPTKind, RegularPT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := NewManager(Config{
+				Cores: 2, Frames: 64, PageSize: sim.Size4k, Tables: kind, Pages: 64,
+			}, fifoFactory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := m.Access(0, 3, true, 0) // fault the page in
+			for _, write := range []bool{false, true} {
+				avg := testing.AllocsPerRun(500, func() {
+					now = m.Access(0, 3, write, now)
+				})
+				if avg != 0 {
+					t.Errorf("write=%v: TLB-hit access allocates %.1f objects, want 0", write, avg)
+				}
+			}
+		})
+	}
+}
+
+func TestSteadyStateFaultPathAllocsBounded(t *testing.T) {
+	m, err := NewManager(Config{
+		Cores: 1, Frames: 8, PageSize: sim.Size4k, Tables: PSPTKind, Pages: 64,
+	}, fifoFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 pages cycled through 8 frames under FIFO: every access is a
+	// major fault with an eviction and a dirty write-back.
+	var now sim.Cycles
+	page := 0
+	touch := func() {
+		now = m.Access(0, sim.PageID(page%16), true, now)
+		page++
+	}
+	for i := 0; i < 64; i++ {
+		touch() // prime: backing-store entries, slabs, mapping store
+	}
+	avg := testing.AllocsPerRun(200, touch)
+	if avg > 1 {
+		t.Errorf("steady-state fault allocates %.2f objects/op, want ≤ 1", avg)
+	}
+}

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"cmcp/internal/dense"
 	"cmcp/internal/mem"
 	"cmcp/internal/obs"
 	"cmcp/internal/pagetable"
@@ -50,6 +51,15 @@ type Config struct {
 	// fault, eviction and scan paths. Disabled tracing costs one
 	// nil-check branch per instrumented site.
 	Probe *obs.Recorder
+	// Pages is an optional hint: the number of distinct page IDs the
+	// workload touches. The page-indexed tables (TLB sets, page-table
+	// bookkeeping, policy indexes) pre-size to it and avoid growth on
+	// the hot path. Zero means "unknown"; tables grow on demand.
+	Pages int
+	// Scratch, when non-nil, supplies recycled slab storage for the
+	// page-indexed tables so repeated runs (RunMany) stop allocating.
+	// Nil falls back to plain make.
+	Scratch *dense.Scratch
 }
 
 // PolicyFactory builds the replacement policy against the kernel-side
@@ -64,7 +74,7 @@ type Manager struct {
 	cfg  Config
 	cost sim.CostModel
 	as   addressSpace
-	tlbs []*tlb.TLB
+	tlbs []tlb.TLB
 	dev  *mem.Device
 	host *mem.Host
 	pol  policy.Policy
@@ -99,6 +109,7 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 	if cfg.Cost == (sim.CostModel{}) {
 		cfg.Cost = sim.DefaultCostModel()
 	}
+	sc := cfg.Scratch
 	m := &Manager{
 		cfg:     cfg,
 		cost:    cfg.Cost,
@@ -106,23 +117,23 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		host:    mem.NewHost(),
 		run:     stats.NewRun(cfg.Cores),
 		scanner: sim.ScannerCore(cfg.Cores),
-		debt:    make([]sim.Cycles, cfg.Cores),
+		debt:    sc.Cycles(cfg.Cores),
 		rec:     cfg.Probe,
 	}
 	if cfg.Tables == PSPTKind {
-		m.as = newPSPTAS(cfg.Cores)
+		m.as = newPSPTAS(cfg.Cores, cfg.Pages, sc)
 	} else {
-		m.as = newSharedAS(cfg.Cores)
+		m.as = newSharedAS(cfg.Cores, cfg.Pages, sc)
 	}
-	m.tlbs = make([]*tlb.TLB, cfg.Cores)
+	m.tlbs = make([]tlb.TLB, cfg.Cores)
 	for i := range m.tlbs {
-		m.tlbs[i] = tlb.New(cfg.TLB)
+		m.tlbs[i] = tlb.NewSized(cfg.TLB, cfg.Pages, sc)
 	}
 	if cfg.Verify {
 		m.verify = make(map[sim.PageID]mem.Signature)
 	}
 	if cfg.Adaptive {
-		m.adapter = newSizeAdapter()
+		m.adapter = newSizeAdapter(cfg.Pages, sc)
 	}
 	m.pol = factory(m)
 	if obs, ok := m.pol.(FaultObserver); ok {
