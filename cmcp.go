@@ -34,6 +34,7 @@ package cmcp
 import (
 	"io"
 
+	"cmcp/internal/check"
 	"cmcp/internal/core"
 	"cmcp/internal/experiments"
 	"cmcp/internal/machine"
@@ -324,3 +325,38 @@ func WriteSamplesCSV(w io.Writer, samples []TraceSample) error {
 
 // TraceTimeline renders events as a bucketed text timeline.
 func TraceTimeline(events []TraceEvent, buckets int) string { return obs.Timeline(events, buckets) }
+
+// Invariant auditing: attach an Auditor through Config.Audit to
+// cross-check the engine's five bookkeeping views (policy residency,
+// page tables, device frames, TLBs, adaptive-size counters) against
+// each other every few thousand events; any violation fails the run.
+type (
+	// Auditor is the cross-module invariant auditor. One Auditor serves
+	// one run at a time; do not share across RunMany.
+	Auditor = check.Auditor
+	// AuditorConfig sets the audit period and the violation cap.
+	AuditorConfig = check.Config
+	// AuditViolation is one detected invariant breach.
+	AuditViolation = check.Violation
+)
+
+// NewAuditor builds an invariant auditor to attach via Config.Audit.
+func NewAuditor(cfg AuditorConfig) *Auditor { return check.New(cfg) }
+
+// Simulation-failure classes. Simulate and RunMany return errors that
+// wrap one of these when the simulated kernel's bookkeeping diverges
+// (for example a custom policy offering a non-resident victim, or no
+// victim at all while device memory is exhausted); match them with
+// errors.Is.
+var (
+	// ErrNoVictim: device memory exhausted and the policy had no victim.
+	ErrNoVictim = vm.ErrNoVictim
+	// ErrBadVictim: the policy offered a victim that is not resident.
+	ErrBadVictim = vm.ErrBadVictim
+	// ErrMapFailed: installing a translation failed (overlapping or
+	// misaligned mapping).
+	ErrMapFailed = vm.ErrMapFailed
+	// ErrCorruption: page content returned from the host does not match
+	// what was swapped out (Config.Verify runs only).
+	ErrCorruption = vm.ErrCorruption
+)

@@ -134,6 +134,37 @@ func TestPublicAPIExperiment(t *testing.T) {
 	}
 }
 
+func TestPublicAPIAuditedRun(t *testing.T) {
+	aud := cmcp.NewAuditor(cmcp.AuditorConfig{Every: 512})
+	_, err := cmcp.Simulate(cmcp.Config{
+		Cores:       4,
+		Workload:    cmcp.LU().Scale(0.03),
+		MemoryRatio: 0.5,
+		Tables:      cmcp.PSPT,
+		Policy:      cmcp.PolicySpec{Kind: cmcp.CMCP, P: 0.5},
+		Seed:        4,
+		Verify:      true,
+		Audit:       aud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.Audits() == 0 {
+		t.Error("auditor never ran")
+	}
+	if len(aud.Violations()) != 0 {
+		t.Errorf("violations: %v", aud.Violations())
+	}
+}
+
+func TestPublicAPIErrorClasses(t *testing.T) {
+	for _, e := range []error{cmcp.ErrNoVictim, cmcp.ErrBadVictim, cmcp.ErrMapFailed, cmcp.ErrCorruption} {
+		if e == nil {
+			t.Fatal("nil error class")
+		}
+	}
+}
+
 func TestPublicAPIRunManyDeterminism(t *testing.T) {
 	cfg := cmcp.Config{
 		Cores:       4,

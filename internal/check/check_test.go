@@ -1,0 +1,169 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmcp/internal/check"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/vm"
+)
+
+// These tests prove the auditor actually catches bookkeeping bugs by
+// deliberately injecting them into an otherwise healthy VM subsystem:
+// a shootdown that never reached a TLB, a policy that miscounts its
+// population, and an adaptive residency counter that skipped a
+// decrement. A clean manager must audit clean.
+
+func fifoFactory(policy.Host) policy.Policy { return policy.NewFIFO() }
+
+func newManager(t *testing.T, cfg vm.Config, factory vm.PolicyFactory) *vm.Manager {
+	t.Helper()
+	if factory == nil {
+		factory = fifoFactory
+	}
+	m, err := vm.NewManager(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// touch faults a spread of pages in so every bookkeeping layer has
+// non-trivial state to audit.
+func touch(t *testing.T, m *vm.Manager, cores, pages int) {
+	t.Helper()
+	var now sim.Cycles
+	for i := 0; i < pages; i++ {
+		done, err := m.Access(sim.CoreID(i%cores), sim.PageID(i*3), i%2 == 0, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+}
+
+func TestAuditorCleanManagerPasses(t *testing.T) {
+	for _, kind := range []vm.TableKind{vm.PSPTKind, vm.RegularPT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := newManager(t, vm.Config{
+				Cores: 4, Frames: 64, PageSize: sim.Size4k, Tables: kind, Pages: 256,
+			}, nil)
+			touch(t, m, 4, 40)
+			aud := check.New(check.Config{})
+			aud.Audit(m)
+			if err := aud.Err(); err != nil {
+				t.Fatalf("clean manager failed audit: %v", err)
+			}
+			if aud.Audits() != 1 {
+				t.Errorf("audits = %d, want 1", aud.Audits())
+			}
+		})
+	}
+}
+
+func TestAuditorCatchesStaleTLBEntry(t *testing.T) {
+	m := newManager(t, vm.Config{
+		Cores: 2, Frames: 64, PageSize: sim.Size4k, Tables: vm.PSPTKind, Pages: 256,
+	}, nil)
+	touch(t, m, 2, 20)
+	// Inject the classic missed-shootdown bug: a cached translation for
+	// a page that has no live mapping in the core's table view.
+	m.TLBFor(0).Insert(199, sim.Size4k)
+	aud := check.New(check.Config{})
+	aud.Audit(m)
+	assertViolation(t, aud, "tlb")
+}
+
+// miscountingPolicy reports one more resident mapping than it tracks —
+// the signature of a missed Remove or double PTESetup in a policy.
+type miscountingPolicy struct{ policy.Policy }
+
+func (p miscountingPolicy) Resident() int { return p.Policy.Resident() + 1 }
+
+func TestAuditorCatchesMiscountingPolicy(t *testing.T) {
+	m := newManager(t, vm.Config{
+		Cores: 1, Frames: 64, PageSize: sim.Size4k, Tables: vm.PSPTKind, Pages: 256,
+	}, func(policy.Host) policy.Policy {
+		return miscountingPolicy{policy.NewFIFO()}
+	})
+	touch(t, m, 1, 10)
+	aud := check.New(check.Config{})
+	aud.Audit(m)
+	assertViolation(t, aud, "residency")
+}
+
+func TestAuditorCatchesAdaptiveCounterDrift(t *testing.T) {
+	m := newManager(t, vm.Config{
+		Cores: 2, Frames: 1024, PageSize: sim.Size4k, Tables: vm.PSPTKind,
+		Adaptive: true, Pages: 2048,
+	}, nil)
+	touch(t, m, 2, 30)
+	_, groups, ok := m.AdaptiveResidency()
+	if !ok || len(groups) == 0 {
+		t.Fatal("adaptive counters absent")
+	}
+	// Inject a skipped resInGroup decrement: the counter now claims one
+	// more resident mapping in group 0 than the page tables hold.
+	groups[0]++
+	aud := check.New(check.Config{})
+	aud.Audit(m)
+	assertViolation(t, aud, "adaptive")
+}
+
+func TestAuditorViolationLimitAndSummary(t *testing.T) {
+	m := newManager(t, vm.Config{
+		Cores: 1, Frames: 64, PageSize: sim.Size4k, Tables: vm.PSPTKind, Pages: 1024,
+	}, nil)
+	touch(t, m, 1, 10)
+	for i := 0; i < 5; i++ {
+		m.TLBFor(0).Insert(sim.PageID(500+i), sim.Size4k)
+	}
+	aud := check.New(check.Config{Limit: 2})
+	aud.Audit(m)
+	if got := len(aud.Violations()); got != 2 {
+		t.Errorf("recorded %d violations, limit is 2", got)
+	}
+	err := aud.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with violations recorded")
+	}
+	if !strings.Contains(err.Error(), "more") {
+		t.Errorf("summary does not mention dropped violations: %v", err)
+	}
+}
+
+func TestAuditorNotePeriod(t *testing.T) {
+	m := newManager(t, vm.Config{
+		Cores: 1, Frames: 64, PageSize: sim.Size4k, Tables: vm.PSPTKind, Pages: 64,
+	}, nil)
+	touch(t, m, 1, 5)
+	aud := check.New(check.Config{Every: 4})
+	for i := 0; i < 7; i++ {
+		aud.Note(m)
+	}
+	if aud.Audits() != 1 {
+		t.Errorf("audits = %d after 7 notes with period 4, want 1", aud.Audits())
+	}
+	aud.Note(m)
+	if aud.Audits() != 2 {
+		t.Errorf("audits = %d after 8 notes, want 2", aud.Audits())
+	}
+	if err := aud.Err(); err != nil {
+		t.Errorf("clean periodic audits reported: %v", err)
+	}
+}
+
+func assertViolation(t *testing.T, aud *check.Auditor, module string) {
+	t.Helper()
+	if aud.Err() == nil {
+		t.Fatalf("auditor missed the injected %s bug", module)
+	}
+	for _, v := range aud.Violations() {
+		if v.Module == module {
+			return
+		}
+	}
+	t.Fatalf("no %q violation among: %v", module, aud.Violations())
+}

@@ -346,6 +346,12 @@ func (c *CMCP) Tick(now sim.Cycles) {
 	if c.tuner != nil {
 		c.tuner.tick(now)
 	}
+	if c.nextAge == 0 {
+		// First tick: arm the timer one full period out. Sweeping here
+		// would decay freshly promoted keys a whole period early.
+		c.nextAge = now + c.agePeriod
+		return
+	}
 	if now < c.nextAge {
 		return
 	}
@@ -363,6 +369,36 @@ func (c *CMCP) Tick(now sim.Cycles) {
 			c.observer.NoteDemotion(it.base)
 		}
 	}
+}
+
+// CheckInvariants verifies the policy's internal consistency: the heap
+// satisfies the (key, seq) min-heap property, the position index is an
+// exact inverse of the heap layout, and no page sits in both groups.
+// The invariant auditor (internal/check) calls it through a type
+// assertion; it is read-only and safe at any point between operations.
+func (c *CMCP) CheckInvariants() error {
+	for i := 1; i < len(c.prio); i++ {
+		parent := (i - 1) / 2
+		if prioLess(&c.prio[i], &c.prio[parent]) {
+			return fmt.Errorf("core: heap violation at %d: (%v,%d) < parent (%v,%d)",
+				i, c.prio[i].key, c.prio[i].seq, c.prio[parent].key, c.prio[parent].seq)
+		}
+	}
+	for i := range c.prio {
+		base := c.prio[i].base
+		if got := c.pos.Get(base); int(got) != i {
+			return fmt.Errorf("core: pos[%d] = %d, want heap slot %d", base, got, i)
+		}
+		if c.fifo.Has(base) {
+			return fmt.Errorf("core: page %d in both priority group and FIFO", base)
+		}
+	}
+	count := 0
+	c.pos.Range(func(sim.PageID, int32) bool { count++; return true })
+	if count != len(c.prio) {
+		return fmt.Errorf("core: pos holds %d entries, heap holds %d", count, len(c.prio))
+	}
+	return nil
 }
 
 // NoteFault lets the VM report a major page fault to the policy; CMCP

@@ -179,17 +179,22 @@ func TestCMCPAgingDrainsToFIFO(t *testing.T) {
 	h.counts[2] = 3
 	c.PTESetup(1)
 	c.PTESetup(2)
-	c.Tick(100) // keys: 1, 2 — both still >= 1, nothing drains yet
+	c.Tick(100) // first tick only arms the timer; no decay
 	fifo, prio := c.Groups()
+	if fifo != 0 || prio != 2 {
+		t.Fatalf("after arming tick: groups = %d/%d", fifo, prio)
+	}
+	c.Tick(200) // sweep 1, keys: 1, 2 — both still >= 1, nothing drains yet
+	fifo, prio = c.Groups()
 	if fifo != 0 || prio != 2 {
 		t.Fatalf("after 1 sweep: groups = %d/%d", fifo, prio)
 	}
-	c.Tick(200) // keys: 0, 1 — page 1 underflows (<1) and drains
+	c.Tick(300) // sweep 2, keys: 0, 1 — page 1 underflows (<1) and drains
 	fifo, prio = c.Groups()
 	if fifo != 1 || prio != 1 {
 		t.Fatalf("after 2 sweeps: groups = %d/%d", fifo, prio)
 	}
-	c.Tick(300) // page 2 drains
+	c.Tick(400) // sweep 3: page 2 drains
 	fifo, prio = c.Groups()
 	if fifo != 2 || prio != 0 {
 		t.Fatalf("after 3 sweeps: groups = %d/%d", fifo, prio)
@@ -206,13 +211,18 @@ func TestCMCPAgingRespectsPeriod(t *testing.T) {
 	c := New(h, 4, WithP(1), WithAgePeriod(1000))
 	h.counts[1] = 2
 	c.PTESetup(1)
-	c.Tick(0)   // first sweep at t=0: key 2 -> 1, stays
+	c.Tick(0)   // first tick only arms the timer (next sweep at t=1000)
 	c.Tick(500) // before period: no decay
 	_, prio := c.Groups()
 	if prio != 1 {
 		t.Fatalf("premature aging")
 	}
-	c.Tick(1000) // key 1 -> 0: drains
+	c.Tick(1000) // first sweep: key 2 -> 1, stays
+	_, prio = c.Groups()
+	if prio != 1 {
+		t.Fatalf("key >= 1 drained early")
+	}
+	c.Tick(2000) // key 1 -> 0: drains
 	_, prio = c.Groups()
 	if prio != 0 {
 		t.Error("aging missed")
@@ -227,7 +237,8 @@ func TestCMCPSetPShrinksGroup(t *testing.T) {
 		c.PTESetup(p)
 	}
 	c.SetP(0.25) // bound shrinks to 1
-	c.Tick(10)   // aging enforces the new bound
+	c.Tick(10)   // arms the aging timer
+	c.Tick(20)   // aging enforces the new bound
 	fifo, prio := c.Groups()
 	if prio != 1 || fifo != 3 {
 		t.Errorf("groups after shrink = %d/%d, want 3/1", fifo, prio)
@@ -448,8 +459,8 @@ func TestCMCPObserverSeesTransitions(t *testing.T) {
 	}
 
 	// Aging drains both remaining prioritized pages (keys 3 and 5 fall
-	// below 1 after five sweeps).
-	for i := 0; i < 5; i++ {
+	// below 1 after five sweeps; the first tick only arms the timer).
+	for i := 0; i < 6; i++ {
 		c.Tick(sim.Cycles(i+1) * sim.DefaultCostModel().AgePeriod)
 	}
 	if len(o.demotions) != 3 {

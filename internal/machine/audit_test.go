@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cmcp/internal/check"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/trace"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// TestAuditGoldenVariants runs every golden configuration with the
+// invariant auditor attached. The ten variants cover all six policies,
+// both table kinds, adaptive sizing, 64 kB pages and periodic PSPT
+// rebuild, so a zero-violation sweep here certifies that the five
+// bookkeeping views stay synchronized across every engine feature the
+// golden table pins.
+func TestAuditGoldenVariants(t *testing.T) {
+	for name, cfg := range goldenVariants() {
+		t.Run(name, func(t *testing.T) {
+			aud := check.New(check.Config{Every: 2048})
+			cfg.Audit = aud
+			if _, err := Simulate(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if aud.Audits() == 0 {
+				t.Fatal("auditor attached but never ran")
+			}
+			if vs := aud.Violations(); len(vs) != 0 {
+				t.Fatalf("%d violations: %v", len(vs), vs)
+			}
+		})
+	}
+}
+
+// TestAuditDoesNotPerturbResults proves the auditor's read-only claim:
+// an audited run must be bit-identical to an unaudited one.
+func TestAuditDoesNotPerturbResults(t *testing.T) {
+	cfg := goldenVariants()["CMCP"]
+	plain, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Audit = check.New(check.Config{Every: 64})
+	audited, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Runtime != audited.Runtime {
+		t.Errorf("runtime %d with audit, %d without", audited.Runtime, plain.Runtime)
+	}
+	for c := 0; c < stats.NumCounters; c++ {
+		if a, b := audited.Run.Total(stats.Counter(c)), plain.Run.Total(stats.Counter(c)); a != b {
+			t.Errorf("%s = %d with audit, %d without", stats.Counter(c).Name(), a, b)
+		}
+	}
+}
+
+// TestAuditRandomConfigs is the randomized property harness: short
+// audited simulations across random points of the configuration space
+// (cores × page size × tables × policy × memory ratio × seed, with
+// adaptive sizing and PSPT rebuild mixed in). Every run must complete
+// without an error and without a single invariant violation.
+func TestAuditRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	kinds := []PolicyKind{FIFO, LRU, CMCP, CLOCK, LFU, Random}
+	sizes := []sim.PageSize{sim.Size4k, sim.Size64k, sim.Size2M}
+	tables := []vm.TableKind{vm.PSPTKind, vm.RegularPT}
+	const runs = 60
+	for i := 0; i < runs; i++ {
+		cores := 1 << rng.Intn(4) // 1, 2, 4 or 8
+		pages := 256 + rng.Intn(512)
+		var wl workload.Spec
+		switch rng.Intn(3) {
+		case 0:
+			wl = workload.Private(pages, 4000)
+		case 1:
+			wl = workload.SharedAll(pages, 4000, cores)
+		default:
+			wl = workload.Uniform(pages, 4000)
+		}
+		cfg := Config{
+			Cores:       cores,
+			Workload:    wl,
+			MemoryRatio: 0.3 + 0.7*rng.Float64(),
+			PageSize:    sizes[rng.Intn(len(sizes))],
+			Tables:      tables[rng.Intn(len(tables))],
+			Policy:      PolicySpec{Kind: kinds[rng.Intn(len(kinds))], P: -1},
+			Seed:        rng.Uint64(),
+			Verify:      true,
+			Audit:       check.New(check.Config{Every: 256}),
+		}
+		if cfg.Tables == vm.PSPTKind {
+			if rng.Intn(4) == 0 {
+				cfg.AdaptivePageSize = true
+			}
+			if rng.Intn(4) == 0 {
+				cfg.PSPTRebuildPeriod = 200_000
+			}
+		}
+		desc := func() string {
+			return cfg.Policy.Kind.String() + "/" + cfg.Tables.String() + "/" + cfg.PageSize.String()
+		}
+		if _, err := Simulate(cfg); err != nil {
+			t.Errorf("config %d (%s, %d cores, ratio %.2f, seed %d): %v",
+				i, desc(), cfg.Cores, cfg.MemoryRatio, cfg.Seed, err)
+			continue
+		}
+		if cfg.Audit.Audits() == 0 {
+			t.Errorf("config %d (%s): auditor never ran", i, desc())
+		}
+	}
+}
+
+// TestAuditFIFODifferentialReplay cross-validates the live engine
+// against the offline replayer: for a single-core FIFO run (no warm-up,
+// so the measured phase is the whole access stream) the simulator's
+// fault count must equal what internal/trace computes by replaying the
+// captured access trace through the same policy at the same capacity.
+// TLBs, costs and locks must not change *which* accesses fault.
+func TestAuditFIFODifferentialReplay(t *testing.T) {
+	wl := workload.Uniform(400, 6000)
+	const seed = 9
+	layout, err := wl.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(layout, seed)
+
+	cfg := Config{
+		Cores:       1,
+		Workload:    wl,
+		MemoryRatio: 0.5,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      PolicySpec{Kind: FIFO, P: -1},
+		Seed:        seed,
+		NoWarmup:    true,
+		Audit:       check.New(check.Config{Every: 512}),
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.CountFaults(tr, res.Frames, sim.Size4k, policy.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Run.Total(stats.PageFaults); got != want {
+		t.Errorf("live simulation faulted %d times, offline replay says %d", got, want)
+	}
+}

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"cmcp/internal/mem"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// These tests pin the panic-free error contract: a policy or content
+// failure inside the fault handler must surface as a structured error
+// from Simulate (matchable with errors.Is), never as a panic, and
+// RunMany must propagate the first failing run.
+
+// stubbornPolicy refuses to ever offer a victim: with constrained
+// memory the allocator eventually finds no free frames and no victim.
+type stubbornPolicy struct{ policy.Policy }
+
+func (stubbornPolicy) Victim() (sim.PageID, bool) { return 0, false }
+
+// lyingPolicy offers victims that were never resident.
+type lyingPolicy struct{ policy.Policy }
+
+func (lyingPolicy) Victim() (sim.PageID, bool) { return 1 << 20, true }
+
+// tamperingPolicy behaves like FIFO but rewrites the backing-store
+// content of each evicted page before it can return, so the next
+// page-in sees a signature that no longer matches what was swapped out.
+type tamperingPolicy struct {
+	policy.Policy
+	host *mem.Host
+	last sim.PageID
+	have bool
+}
+
+func (p *tamperingPolicy) Victim() (sim.PageID, bool) {
+	if p.have {
+		p.host.PageOut(p.last, mem.Signature(0xdeadbeef))
+		p.have = false
+	}
+	v, ok := p.Policy.Victim()
+	if ok {
+		p.last, p.have = v, true
+	}
+	return v, ok
+}
+
+// errConfig is a constrained single-core run that must evict steadily.
+func errConfig(factory vm.PolicyFactory) Config {
+	return Config{
+		Cores:       1,
+		Workload:    workload.Uniform(128, 4000),
+		MemoryRatio: 0.25,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      PolicySpec{Factory: factory},
+		Seed:        3,
+		NoWarmup:    true,
+	}
+}
+
+func TestSimulateNoVictimIsError(t *testing.T) {
+	cfg := errConfig(func(policy.Host) policy.Policy {
+		return stubbornPolicy{policy.NewFIFO()}
+	})
+	_, err := Simulate(cfg)
+	if !errors.Is(err, vm.ErrNoVictim) {
+		t.Fatalf("err = %v, want ErrNoVictim", err)
+	}
+}
+
+func TestSimulateBadVictimIsError(t *testing.T) {
+	cfg := errConfig(func(policy.Host) policy.Policy {
+		return lyingPolicy{policy.NewFIFO()}
+	})
+	_, err := Simulate(cfg)
+	if !errors.Is(err, vm.ErrBadVictim) {
+		t.Fatalf("err = %v, want ErrBadVictim", err)
+	}
+}
+
+func TestSimulateCorruptionIsError(t *testing.T) {
+	cfg := errConfig(func(h policy.Host) policy.Policy {
+		// The engine hands the policy factory the VM manager itself as
+		// its Host; the test reaches through it to tamper with the
+		// backing store, simulating a lost or misdirected transfer.
+		return &tamperingPolicy{Policy: policy.NewFIFO(), host: h.(*vm.Manager).Host()}
+	})
+	cfg.Verify = true
+	_, err := Simulate(cfg)
+	if !errors.Is(err, vm.ErrCorruption) {
+		t.Fatalf("err = %v, want ErrCorruption", err)
+	}
+}
+
+func TestRunManyPropagatesFirstFailure(t *testing.T) {
+	good := errConfig(nil)
+	good.Policy = PolicySpec{Kind: FIFO, P: -1}
+	bad := errConfig(func(policy.Host) policy.Policy {
+		return stubbornPolicy{policy.NewFIFO()}
+	})
+	results, err := RunMany([]Config{good, bad, good}, 2)
+	if !errors.Is(err, vm.ErrNoVictim) {
+		t.Fatalf("err = %v, want ErrNoVictim", err)
+	}
+	if results != nil {
+		t.Error("failed sweep must not return partial results")
+	}
+}

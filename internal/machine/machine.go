@@ -11,6 +11,7 @@ package machine
 import (
 	"fmt"
 
+	"cmcp/internal/check"
 	"cmcp/internal/core"
 	"cmcp/internal/dense"
 	"cmcp/internal/obs"
@@ -107,7 +108,10 @@ type Config struct {
 	// Verify enables page-content integrity checking.
 	Verify bool
 	// TickInterval is the granularity at which the scanner pseudo-core
-	// runs policy periodic work (0 = 1 ms simulated).
+	// runs policy periodic work. 0 selects the default of 25,000 cycles
+	// — half the compressed default scan period (≈24 µs at KNC's
+	// 1.053 GHz), so timer-driven policies never miss a deadline by
+	// more than half a period.
 	TickInterval sim.Cycles
 	// NoWarmup skips the steady-state warm-up phase (each core touching
 	// its population once before measurement begins). The default
@@ -122,6 +126,13 @@ type Config struct {
 	// nil-check branch per instrumented site. A Recorder serves one
 	// run at a time — never share one across concurrent RunMany calls.
 	Probe *obs.Recorder
+	// Audit attaches the cross-module invariant auditor (see
+	// internal/check): every few thousand engine events it cross-checks
+	// policy residency, device frames, page tables, TLBs and the
+	// adaptive-size counters against each other, and any violation fails
+	// the run. nil disables auditing. Like Probe, an Auditor serves one
+	// run at a time — never share one across concurrent RunMany calls.
+	Audit *check.Auditor
 }
 
 // Result is one run's outcome.
@@ -192,6 +203,9 @@ func buildPolicy(cfg Config, frames, pages int, sc *dense.Scratch) (vm.PolicyFac
 			return policy.NewLRU(h, opts...)
 		}, nil
 	case CMCP:
+		if cfg.Policy.P > 1 {
+			return nil, fmt.Errorf("machine: CMCP p=%v out of [0,1]", cfg.Policy.P)
+		}
 		return func(h policy.Host) policy.Policy {
 			opts := []core.Option{core.WithArena(sc, pages)}
 			if cfg.Policy.P >= 0 {
@@ -382,12 +396,17 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		// Warm-up: every core touches its population once, bringing the
 		// resident set and TLBs to steady state, then all cores
 		// synchronize at a barrier and the counters are rebased.
-		t0 = runPhase(mgr, cfg, &events, layout.WarmupStreams(), 0)
+		t0, err = runPhase(mgr, cfg, &events, layout.WarmupStreams(), 0)
+		if err != nil {
+			return nil, err
+		}
 		warm := run.CloneIn(sc)
 		for c := 0; c < cfg.Cores; c++ {
 			mgr.TakeDebt(sim.CoreID(c)) // drop warm-up interrupt debt
 		}
-		runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), t0)
+		if _, err = runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), t0); err != nil {
+			return nil, err
+		}
 		if err := run.Subtract(warm); err != nil {
 			return nil, err
 		}
@@ -399,7 +418,18 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 			}
 		}
 	} else {
-		runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), 0)
+		if _, err = runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), 0); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Audit != nil {
+		// One final full audit at quiescence, then surface anything the
+		// periodic checks or this one found as a run failure.
+		cfg.Audit.Audit(mgr)
+		if err := cfg.Audit.Err(); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
 	}
 
 	res := &Result{
@@ -420,8 +450,9 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 // runPhase drives the DES until every core drains its stream, starting
 // all clocks at start. It records per-core finish times and returns the
 // barrier time (the latest finishing clock, scanner included in its own
-// lane but excluded from the barrier).
-func runPhase(mgr *vm.Manager, cfg Config, events *eventQueue, streams []workload.Stream, start sim.Cycles) sim.Cycles {
+// lane but excluded from the barrier). A non-nil error means the VM
+// reported an internal inconsistency and the phase was abandoned.
+func runPhase(mgr *vm.Manager, cfg Config, events *eventQueue, streams []workload.Stream, start sim.Cycles) (sim.Cycles, error) {
 	run := mgr.Run()
 	events.reset()
 	for c := 0; c < cfg.Cores; c++ {
@@ -438,6 +469,9 @@ func runPhase(mgr *vm.Manager, cfg Config, events *eventQueue, streams []workloa
 		// retiring core actually leaves the queue.
 		id := events.ev[0].id()
 		clock := events.ev[0].clock()
+		if cfg.Audit != nil {
+			cfg.Audit.Note(mgr)
+		}
 		if id == scannerID {
 			// Scanner pseudo-core: run policy periodic work, then
 			// schedule the next tick after the work completes.
@@ -470,11 +504,15 @@ func runPhase(mgr *vm.Manager, cfg Config, events *eventQueue, streams []workloa
 			events.pop() // core retires
 			continue
 		}
-		events.ev[0] = makeEvent(mgr.Access(id, a.VPN, a.Write, clock), id)
+		done, err := mgr.Access(id, a.VPN, a.Write, clock)
+		if err != nil {
+			return 0, fmt.Errorf("machine: core %d at cycle %d: %w", id, clock, err)
+		}
+		events.ev[0] = makeEvent(done, id)
 		events.fixTop()
 	}
 	run.Finish[scannerID] = scannerClock
-	return barrier
+	return barrier, nil
 }
 
 // sample captures one time-series point on the sampler's schedule: the

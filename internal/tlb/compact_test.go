@@ -1,0 +1,86 @@
+package tlb
+
+import (
+	"testing"
+
+	"cmcp/internal/sim"
+)
+
+// Regression tests for the stale-slot compaction fix: under
+// invalidate/insert churn the FIFO queue used to grow linearly with
+// total inserts (stale slots were only reclaimed by eviction pops,
+// which a set running below capacity never performs). The queue must
+// now stay within a small multiple of the set capacity, and compaction
+// must preserve the eviction order of everything live.
+
+func TestFifoSetQueueBoundedUnderChurn(t *testing.T) {
+	s := newFifoSet(16, 0, nil)
+	bound := 4*s.cap + 64
+	for i := 0; i < 50_000; i++ {
+		s.insert(sim.PageID(i%96), entry{size: sim.Size4k})
+		s.invalidate(sim.PageID((i + 37) % 96))
+		if len(s.queue) > bound {
+			t.Fatalf("iteration %d: queue length %d exceeds bound %d", i, len(s.queue), bound)
+		}
+		if i%1000 == 0 {
+			if err := s.checkInvariants("churn"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.checkInvariants("churn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBChurnBoundedAndConsistent(t *testing.T) {
+	tb := New(Config{L1Entries4k: 8, L1Entries64k: 4, L1Entries2M: 2, L2Entries: 8})
+	for i := 0; i < 30_000; i++ {
+		tb.Insert(sim.PageID(i%200), sim.Size4k)
+		tb.Invalidate(sim.PageID((i * 7) % 200))
+		if i%500 == 0 {
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, s := range []*fifoSet{&tb.l1[sim.Size4k], &tb.l2} {
+		if lim := 4*s.cap + 64; len(s.queue) > lim {
+			t.Errorf("queue length %d exceeds bound %d", len(s.queue), lim)
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactLivePreservesEvictionOrder churns stale slots past the
+// compaction threshold and then verifies the surviving live entries
+// still evict in their original FIFO order.
+func TestCompactLivePreservesEvictionOrder(t *testing.T) {
+	s := newFifoSet(4, 0, nil)
+	for i := 0; i < 4; i++ {
+		s.insert(sim.PageID(i), entry{size: sim.Size4k})
+	}
+	// Open one slot so churn inserts never trigger eviction, then pile
+	// stale slots for page 10 until compaction must fire.
+	s.invalidate(3)
+	for i := 0; i < 300; i++ {
+		s.insert(10, entry{size: sim.Size4k})
+		s.invalidate(10)
+	}
+	if len(s.queue) > 4*s.cap+64 {
+		t.Fatalf("compaction never fired: queue length %d", len(s.queue))
+	}
+	s.insert(10, entry{size: sim.Size4k}) // back to capacity: 0,1,2,10
+	want := []sim.PageID{0, 1, 2, 10}
+	for i, p := range []sim.PageID{20, 21, 22, 23} {
+		vb, _, ok := s.insert(p, entry{size: sim.Size4k})
+		if !ok {
+			t.Fatalf("insert %d evicted nothing", p)
+		}
+		if vb != want[i] {
+			t.Errorf("eviction %d: got page %d, want %d", i, vb, want[i])
+		}
+	}
+}

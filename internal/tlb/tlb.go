@@ -13,6 +13,8 @@
 package tlb
 
 import (
+	"fmt"
+
 	"cmcp/internal/dense"
 	"cmcp/internal/sim"
 )
@@ -151,15 +153,94 @@ func (s *fifoSet) flush() {
 	s.n = 0
 }
 
-// compact reclaims queue space when the consumed prefix dominates.
+// compact reclaims queue space when stale slots dominate.
 func (s *fifoSet) compact() {
+	// Invalidation-heavy traffic (shootdown storms, PSPT rebuilds)
+	// leaves stale slots in the un-consumed suffix that only eviction
+	// pops would reclaim; a set running below capacity never pops, so
+	// the queue would otherwise grow linearly with total inserts. Once
+	// it outgrows a small multiple of capacity, rewrite it with live
+	// entries only.
+	if len(s.queue) > 4*s.cap+64 {
+		s.compactLive()
+		return
+	}
 	if s.head > 64 && s.head*2 > len(s.queue) {
 		s.queue = append(s.queue[:0], s.queue[s.head:]...)
 		s.head = 0
 	}
 }
 
+// keptBit transiently marks state entries during compaction and
+// invariant checking. It is well above any size+1 value (max 3).
+const keptBit = 0x80
+
+// compactLive rewrites the queue keeping only each live base's earliest
+// slot, in order. That slot alone determines when the entry reaches the
+// FIFO head, so the effective eviction order of everything currently
+// cached is preserved exactly.
+func (s *fifoSet) compactLive() {
+	w := 0
+	for _, qb := range s.queue[s.head:] {
+		if v := s.state[qb]; v != 0 && v&keptBit == 0 {
+			s.state[qb] = v | keptBit
+			s.queue[w] = qb
+			w++
+		}
+	}
+	s.queue = s.queue[:w]
+	s.head = 0
+	for _, qb := range s.queue {
+		s.state[qb] &^= keptBit
+	}
+}
+
 func (s *fifoSet) len() int { return s.n }
+
+// forEach visits every live entry (order unspecified; audit only).
+func (s *fifoSet) forEach(fn func(base sim.PageID, size sim.PageSize)) {
+	for b, v := range s.state {
+		if v != 0 {
+			fn(sim.PageID(b), sim.PageSize(v-1))
+		}
+	}
+}
+
+// checkInvariants verifies the set's internal consistency: the live
+// count matches the state table and the capacity bound, and every live
+// entry still owns at least one un-consumed queue slot (otherwise it
+// could never be evicted).
+func (s *fifoSet) checkInvariants(name string) error {
+	live := 0
+	for _, v := range s.state {
+		if v != 0 {
+			live++
+		}
+	}
+	if live != s.n {
+		return fmt.Errorf("tlb %s: n=%d but %d live state entries", name, s.n, live)
+	}
+	if s.cap >= 0 && s.n > s.cap {
+		return fmt.Errorf("tlb %s: %d live entries exceed capacity %d", name, s.n, s.cap)
+	}
+	if s.head > len(s.queue) {
+		return fmt.Errorf("tlb %s: head %d past queue length %d", name, s.head, len(s.queue))
+	}
+	covered := 0
+	for _, qb := range s.queue[s.head:] {
+		if v := s.state[qb]; v != 0 && v&keptBit == 0 {
+			s.state[qb] = v | keptBit
+			covered++
+		}
+	}
+	for _, qb := range s.queue[s.head:] {
+		s.state[qb] &^= keptBit
+	}
+	if covered != s.n {
+		return fmt.Errorf("tlb %s: %d of %d live entries have a queue slot", name, covered, s.n)
+	}
+	return nil
+}
 
 // TLB is one core's data TLB: three L1 size classes plus a unified L2.
 // It is not safe for concurrent use; the event engine serializes cores.
@@ -261,4 +342,23 @@ func (t *TLB) Entries() int {
 		n += t.l1[s].len()
 	}
 	return n
+}
+
+// ForEachEntry visits every cached translation; level is 1 or 2. The
+// invariant auditor cross-checks each against the page tables.
+func (t *TLB) ForEachEntry(fn func(base sim.PageID, size sim.PageSize, level int)) {
+	for _, s := range sizes {
+		t.l1[s].forEach(func(base sim.PageID, size sim.PageSize) { fn(base, size, 1) })
+	}
+	t.l2.forEach(func(base sim.PageID, size sim.PageSize) { fn(base, size, 2) })
+}
+
+// CheckInvariants verifies the internal consistency of all four sets.
+func (t *TLB) CheckInvariants() error {
+	for _, s := range sizes {
+		if err := t.l1[s].checkInvariants(fmt.Sprintf("L1/%v", s)); err != nil {
+			return err
+		}
+	}
+	return t.l2.checkInvariants("L2")
 }

@@ -64,7 +64,7 @@ func TestAdaptiveHotBlockDemotesTo4k(t *testing.T) {
 	// 4 kB threshold, map individual pages).
 	var now sim.Cycles
 	for i := 0; i < 200; i++ {
-		now = m.Access(0, sim.PageID((i*17)%512), false, now)
+		now = mustAccess(t, m, 0, sim.PageID((i*17)%512), false, now)
 	}
 	_, size, ok := m.as.Lookup(0, sim.PageID((199*17)%512))
 	if !ok {
@@ -147,7 +147,7 @@ func TestAdaptiveContentIntegrity(t *testing.T) {
 	var now sim.Cycles
 	for i := 0; i < 300; i++ {
 		core := sim.CoreID(i % 2)
-		now = m.Access(core, sim.PageID((i*31)%200), i%3 == 0, now)
+		now = mustAccess(t, m, core, sim.PageID((i*31)%200), i%3 == 0, now)
 	}
 	if m.Run().Total(stats.WriteBacks) == 0 {
 		t.Error("expected write-backs under thrash")

@@ -77,6 +77,10 @@ type addressSpace interface {
 
 	// Resident returns the number of live mappings.
 	Resident() int
+
+	// ForEachMapping visits every live mapping in ascending base order
+	// (read-only; the invariant auditor and experiments iterate it).
+	ForEachMapping(fn func(base sim.PageID, size sim.PageSize, pfn int64))
 }
 
 // mappingInfo is the kernel's record of one resident mapping under
@@ -241,6 +245,15 @@ func (s *sharedAS) LockFor(sim.PageID) *sim.Resource { return &s.lock }
 
 func (s *sharedAS) Resident() int { return s.resident }
 
+func (s *sharedAS) ForEachMapping(fn func(base sim.PageID, size sim.PageSize, pfn int64)) {
+	for p, w := range s.maps.Slice() {
+		if w != 0 {
+			mi := unpackMappingInfo(w)
+			fn(sim.PageID(p), mi.size, mi.pfn)
+		}
+	}
+}
+
 // psptAS adapts pspt.PSPT to the addressSpace interface.
 type psptAS struct {
 	p       *pspt.PSPT
@@ -319,6 +332,10 @@ func (a *psptAS) lockTable(base sim.PageID) *sim.Resource {
 }
 
 func (a *psptAS) Resident() int { return a.p.ResidentMappings() }
+
+func (a *psptAS) ForEachMapping(fn func(base sim.PageID, size sim.PageSize, pfn int64)) {
+	a.p.ForEachMapping(func(m *pspt.Mapping) { fn(m.Base, m.Size, m.PFN) })
+}
 
 // PSPT exposes the underlying PSPT for experiments (Figure 6 reads the
 // sharing histogram directly from the per-core tables).

@@ -21,10 +21,10 @@ func TestAccessTLBHitPathZeroAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			now := m.Access(0, 3, true, 0) // fault the page in
+			now := mustAccess(t, m, 0, 3, true, 0) // fault the page in
 			for _, write := range []bool{false, true} {
 				avg := testing.AllocsPerRun(500, func() {
-					now = m.Access(0, 3, write, now)
+					now, _ = m.Access(0, 3, write, now)
 				})
 				if avg != 0 {
 					t.Errorf("write=%v: TLB-hit access allocates %.1f objects, want 0", write, avg)
@@ -46,7 +46,7 @@ func TestSteadyStateFaultPathAllocsBounded(t *testing.T) {
 	var now sim.Cycles
 	page := 0
 	touch := func() {
-		now = m.Access(0, sim.PageID(page%16), true, now)
+		now, _ = m.Access(0, sim.PageID(page%16), true, now)
 		page++
 	}
 	for i := 0; i < 64; i++ {

@@ -8,6 +8,7 @@ import (
 	"cmcp/internal/obs"
 	"cmcp/internal/pagetable"
 	"cmcp/internal/policy"
+	"cmcp/internal/pspt"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
 	"cmcp/internal/tlb"
@@ -80,10 +81,11 @@ type Manager struct {
 	pol  policy.Policy
 	run  *stats.Run
 
-	scanner     sim.CoreID
-	debt        []sim.Cycles // pending IPI-interrupt cycles per app core
-	scanCost    sim.Cycles   // accumulated scanner-side cost since TakeScanCost
-	nextRebuild sim.Cycles
+	scanner      sim.CoreID
+	debt         []sim.Cycles // pending IPI-interrupt cycles per app core
+	scanCost     sim.Cycles   // accumulated scanner-side cost since TakeScanCost
+	nextRebuild  sim.Cycles
+	rebuildCount []uint64 // per-core invalidation tally, reused across rebuilds
 
 	allocLock sim.Resource
 	dmaBus    sim.Resource // serializes PCIe wire time (latency overlaps)
@@ -103,6 +105,9 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 	if cfg.Frames < int(cfg.PageSize.Span()) {
 		return nil, fmt.Errorf("vm: %d frames cannot hold one %v mapping", cfg.Frames, cfg.PageSize)
 	}
+	if cfg.Tables == PSPTKind && cfg.Cores > pspt.MaxCores {
+		return nil, fmt.Errorf("vm: %d cores exceeds PSPT limit of %d", cfg.Cores, pspt.MaxCores)
+	}
 	if cfg.TLB == (tlb.Config{}) {
 		cfg.TLB = tlb.DefaultConfig()
 	}
@@ -119,6 +124,9 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		scanner: sim.ScannerCore(cfg.Cores),
 		debt:    sc.Cycles(cfg.Cores),
 		rec:     cfg.Probe,
+	}
+	if cfg.PSPTRebuildPeriod != 0 {
+		m.rebuildCount = sc.U64(cfg.Cores)
 	}
 	if cfg.Tables == PSPTKind {
 		m.as = newPSPTAS(cfg.Cores, cfg.Pages, sc)
@@ -164,6 +172,43 @@ func (m *Manager) SharingHistogram() ([]int, bool) {
 		return a.PSPT().SharingHistogram(), true
 	}
 	return nil, false
+}
+
+// Cores returns the number of application cores.
+func (m *Manager) Cores() int { return m.cfg.Cores }
+
+// TLBFor exposes core's TLB for read-only inspection (the invariant
+// auditor cross-checks cached translations against the page tables).
+func (m *Manager) TLBFor(core sim.CoreID) *tlb.TLB { return &m.tlbs[core] }
+
+// Lookup resolves vpn through core's page-table view. Bookkeeping only:
+// no cost is charged and no simulated state changes.
+func (m *Manager) Lookup(core sim.CoreID, vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) {
+	return m.as.Lookup(core, vpn)
+}
+
+// ForEachMapping visits every resident mapping in ascending base order.
+func (m *Manager) ForEachMapping(fn func(base sim.PageID, size sim.PageSize, pfn int64)) {
+	m.as.ForEachMapping(fn)
+}
+
+// PSPT returns the per-core table set, or ok=false under regular
+// page tables.
+func (m *Manager) PSPT() (*pspt.PSPT, bool) {
+	if a, ok := m.as.(*psptAS); ok {
+		return a.PSPT(), true
+	}
+	return nil, false
+}
+
+// AdaptiveResidency exposes the size adapter's per-block and per-group
+// residency counters (ok=false when Config.Adaptive is off). The slices
+// are live views; callers must not modify them.
+func (m *Manager) AdaptiveResidency() (perBlock, perGroup []int32, ok bool) {
+	if m.adapter == nil {
+		return nil, nil, false
+	}
+	return m.adapter.resInBlock, m.adapter.resInGroup, true
 }
 
 // TakeDebt drains and returns the pending interrupt cycles of core —
@@ -218,7 +263,12 @@ func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
 	// interrupt per rebuild carrying its whole invalidation list (one
 	// INVLPG per dropped page), not one IPI per page — that is what
 	// makes periodic rebuilding affordable at all.
-	perCore := make(map[sim.CoreID]uint64)
+	//
+	// The tally lives in a dense per-core slice swept in core-ID order:
+	// no allocation per rebuild, and anything ordered inside the sweep
+	// (debt charging, future event emission) stays deterministic.
+	perCore := m.rebuildCount
+	clear(perCore)
 	a.PSPT().Rebuild(func(base sim.PageID, targets []sim.CoreID) {
 		m.scanCost += m.cost.ScanPTE
 		for _, tc := range targets {
@@ -227,13 +277,18 @@ func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
 			m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
 		}
 	})
+	cores := 0
 	for tc, pages := range perCore {
-		m.debt[tc] += m.cost.IPIInterrupt + sim.Cycles(pages)*m.cost.InvlpgLocal
+		if pages == 0 {
+			continue
+		}
+		cores++
+		m.debt[sim.CoreID(tc)] += m.cost.IPIInterrupt + sim.Cycles(pages)*m.cost.InvlpgLocal
 		m.run.Add(m.scanner, stats.IPIsSent, 1)
 		m.scanCost += m.cost.ScanIPIPerTarget
 	}
-	if m.rec != nil && len(perCore) > 0 {
-		m.rec.Emit(now, m.scanner, obs.EvShootdown, 0, int64(len(perCore)))
+	if m.rec != nil && cores > 0 {
+		m.rec.Emit(now, m.scanner, obs.EvShootdown, 0, int64(cores))
 	}
 }
 
@@ -299,7 +354,11 @@ func (m *Manager) lookupAny(vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) 
 // returns the core's finishing time. This is the hardware+kernel
 // access path: TLB lookup, page walk on miss, fault handling when the
 // translation is absent, then the touch's amortized compute.
-func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cycles) sim.Cycles {
+//
+// A non-nil error means the simulated kernel's bookkeeping diverged
+// (ErrNoVictim, ErrBadVictim, ErrMapFailed, ErrCorruption); the run is
+// unrecoverable and the returned time is meaningless.
+func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cycles) (sim.Cycles, error) {
 	m.run.Add(core, stats.Touches, 1)
 	t := now
 	switch m.tlbs[core].Lookup(vpn) {
@@ -316,11 +375,15 @@ func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cy
 		if _, size, ok := m.as.Lookup(core, vpn); ok {
 			m.tlbs[core].Insert(vpn, size)
 		} else {
-			t = m.fault(core, vpn, t)
+			var err error
+			t, err = m.fault(core, vpn, t)
+			if err != nil {
+				return t, err
+			}
 		}
 	}
 	m.touchBookkeeping(core, vpn, write)
-	return t + m.cost.TouchCompute
+	return t + m.cost.TouchCompute, nil
 }
 
 // touchBookkeeping simulates the MMU attribute updates and the data
@@ -352,7 +415,7 @@ func (m *Manager) frameOf(core sim.CoreID, vpn sim.PageID) (sim.FrameID, bool) {
 
 // fault handles a translation fault by core for vpn starting at virtual
 // time t and returns the completion time.
-func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycles {
+func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycles, error) {
 	t += m.cost.FaultEntry
 	if m.rec != nil {
 		m.rec.Advance(t)
@@ -376,7 +439,7 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 		if _, size, ok := m.as.Lookup(core, vpn); ok {
 			m.tlbs[core].Insert(vpn, size)
 		}
-		return t
+		return t, nil
 	}
 
 	// Major fault: the page lives in host memory. The handling cost
@@ -416,7 +479,10 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
 	}
 	t = done
-	work, wire := m.service(core, vpn, base, size, span)
+	work, wire, err := m.service(core, vpn, base, size, span)
+	if err != nil {
+		return t, err
+	}
 	t += work
 	if wire > 0 {
 		busDone, busWaited := m.dmaBus.Acquire(t, wire)
@@ -431,7 +497,7 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) sim.Cycle
 	if m.rec != nil && waited > 0 {
 		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
 	}
-	return done
+	return done, nil
 }
 
 // dmaLatencyFor returns the fixed PCIe setup latency when any bytes
@@ -447,10 +513,13 @@ func (m *Manager) dmaLatencyFor(wire sim.Cycles) sim.Cycles {
 // service performs the state mutations of a major fault — allocate
 // (evicting as needed), page-in, map, policy bookkeeping, TLB install —
 // and returns the CPU work it cost plus the PCIe wire time consumed.
-func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSize, span int) (work, wire sim.Cycles) {
+func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSize, span int) (work, wire sim.Cycles, err error) {
 	work = m.cost.FaultService
 
-	frame, evWork, evBytes := m.allocFrames(core, base, span)
+	frame, evWork, evBytes, err := m.allocFrames(core, base, span)
+	if err != nil {
+		return 0, 0, err
+	}
 	work += evWork
 	bytes := evBytes
 
@@ -460,7 +529,7 @@ func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSi
 		sig := m.host.PageIn(v)
 		if m.verify != nil {
 			if want, ok := m.verify[v]; ok && want != sig {
-				panic(fmt.Sprintf("vm: content corruption on page %d: got %x want %x", v, sig, want))
+				return 0, 0, fmt.Errorf("%w on page %d: got %x want %x", ErrCorruption, v, sig, want)
 			}
 		}
 		m.dev.SetSignature(frame+sim.FrameID(i), sig)
@@ -468,8 +537,8 @@ func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSi
 	m.run.Add(core, stats.BytesIn, uint64(size.Bytes()))
 	bytes += size.Bytes()
 
-	if err := m.as.Map(core, base, size, int64(frame), pagetable.Writable); err != nil {
-		panic(fmt.Sprintf("vm: map failed: %v", err))
+	if mapErr := m.as.Map(core, base, size, int64(frame), pagetable.Writable); mapErr != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrMapFailed, mapErr)
 	}
 	if m.adapter != nil {
 		m.adapter.mapped(base, size)
@@ -478,24 +547,27 @@ func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSi
 	m.tlbs[core].Insert(vpn, size)
 
 	wire = sim.Cycles(float64(bytes) / m.cost.DMABytesPerCycle)
-	return work, wire
+	return work, wire, nil
 }
 
 // allocFrames obtains span naturally aligned contiguous frames,
 // evicting victims until the allocation succeeds.
-func (m *Manager) allocFrames(core sim.CoreID, base sim.PageID, span int) (sim.FrameID, sim.Cycles, int64) {
+func (m *Manager) allocFrames(core sim.CoreID, base sim.PageID, span int) (sim.FrameID, sim.Cycles, int64, error) {
 	var work sim.Cycles
 	var bytes int64
 	for {
 		f, err := m.dev.AllocRange(base, span)
 		if err == nil {
-			return f, work, bytes
+			return f, work, bytes, nil
 		}
 		vbase, ok := m.pol.Victim()
 		if !ok {
-			panic(fmt.Sprintf("vm: out of frames with no victim (span %d, free %d)", span, m.dev.FreeFrames()))
+			return 0, 0, 0, fmt.Errorf("%w (span %d, free %d)", ErrNoVictim, span, m.dev.FreeFrames())
 		}
-		w, b := m.evict(core, vbase)
+		w, b, evErr := m.evict(core, vbase)
+		if evErr != nil {
+			return 0, 0, 0, evErr
+		}
 		work += w
 		bytes += b
 	}
@@ -504,10 +576,10 @@ func (m *Manager) allocFrames(core sim.CoreID, base sim.PageID, span int) (sim.F
 // evict unmaps the victim mapping at vbase, shoots down the TLBs of the
 // affected cores, writes dirty content back and frees the frames. It
 // returns the evictor-side CPU work and the write-back byte count.
-func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64) {
+func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, error) {
 	base, size, pfn, targets, ok := m.as.Unmap(vbase)
 	if !ok {
-		panic(fmt.Sprintf("vm: victim %d not resident", vbase))
+		return 0, 0, fmt.Errorf("%w: victim %d", ErrBadVictim, vbase)
 	}
 	m.run.Add(core, stats.Evictions, 1)
 	if m.adapter != nil {
@@ -567,5 +639,5 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64) {
 			m.rec.EmitNow(core, obs.EvWriteBack, base, bytes)
 		}
 	}
-	return work, bytes
+	return work, bytes, nil
 }

@@ -11,6 +11,16 @@ import (
 
 func fifoFactory(policy.Host) policy.Policy { return policy.NewFIFO() }
 
+// mustAccess is Access for tests that do not exercise the error paths.
+func mustAccess(t *testing.T, m *Manager, core sim.CoreID, vpn sim.PageID, write bool, now sim.Cycles) sim.Cycles {
+	t.Helper()
+	done, err := m.Access(core, vpn, write, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
 func newMgr(t *testing.T, cores, frames int, kind TableKind, size sim.PageSize) *Manager {
 	t.Helper()
 	m, err := NewManager(Config{
@@ -37,7 +47,7 @@ func TestNewManagerValidation(t *testing.T) {
 
 func TestFirstAccessFaultsSecondHits(t *testing.T) {
 	m := newMgr(t, 2, 16, PSPTKind, sim.Size4k)
-	t1 := m.Access(0, 5, false, 0)
+	t1 := mustAccess(t, m, 0, 5, false, 0)
 	if t1 == 0 {
 		t.Fatal("access must cost cycles")
 	}
@@ -49,7 +59,7 @@ func TestFirstAccessFaultsSecondHits(t *testing.T) {
 		t.Errorf("dtlb misses = %d", r.Get(0, stats.DTLBMisses))
 	}
 	// Second access: TLB hit, only compute cost.
-	t2 := m.Access(0, 5, false, t1)
+	t2 := mustAccess(t, m, 0, 5, false, t1)
 	if t2-t1 != sim.DefaultCostModel().TouchCompute {
 		t.Errorf("TLB hit cost = %d, want %d", t2-t1, sim.DefaultCostModel().TouchCompute)
 	}
@@ -213,7 +223,7 @@ func TestContentSurvivesManySwapCycles(t *testing.T) {
 	m := newMgr(t, 1, 2, PSPTKind, sim.Size4k)
 	var now sim.Cycles
 	for i := 0; i < 50; i++ {
-		now = m.Access(0, sim.PageID(i%3), true, now)
+		now = mustAccess(t, m, 0, sim.PageID(i%3), true, now)
 	}
 	if m.Run().Get(0, stats.WriteBacks) == 0 {
 		t.Error("thrashing writes must produce write-backs")
@@ -232,7 +242,7 @@ func Test64kPageFaultMapsGroup(t *testing.T) {
 	}
 	// Whole group resident: any member access is a TLB hit (one entry).
 	t0 := sim.Cycles(1_000_000)
-	t1 := m.Access(0, 31, false, t0)
+	t1 := mustAccess(t, m, 0, 31, false, t0)
 	if t1-t0 != sim.DefaultCostModel().TouchCompute {
 		t.Errorf("member access cost = %d, want pure compute", t1-t0)
 	}
@@ -283,7 +293,7 @@ func Test2MPageFault(t *testing.T) {
 	}
 	// Neighbouring member is a TLB hit.
 	t0 := sim.Cycles(1 << 30)
-	t1 := m.Access(0, 600, false, t0)
+	t1 := mustAccess(t, m, 0, 600, false, t0)
 	if t1-t0 != sim.DefaultCostModel().TouchCompute {
 		t.Error("2M member must hit TLB")
 	}
@@ -306,7 +316,7 @@ func TestRegularPTEvictionCostsBroadcast(t *testing.T) {
 		m := newMgr(t, 4, 2, kind, sim.Size4k)
 		m.Access(0, 0, false, 0)
 		m.Access(0, 1, false, 0)
-		return m.Access(0, 2, false, 1_000_000) // evicts page 0
+		return mustAccess(t, m, 0, 2, false, 1_000_000) // evicts page 0
 	}
 	reg := scenario(RegularPT)
 	ps := scenario(PSPTKind)
@@ -393,7 +403,11 @@ func TestManagerInvariantsProperty(t *testing.T) {
 			core := sim.CoreID(op % 3)
 			vpn := sim.PageID(op>>2) % pageSpace
 			write := op&0x8000 != 0
-			now = m.Access(core, vpn, write, now)
+			var accErr error
+			now, accErr = m.Access(core, vpn, write, now)
+			if accErr != nil {
+				return false
+			}
 			if m.Resident() != m.Policy().Resident() {
 				return false
 			}

@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"testing"
+
+	"cmcp/internal/sim"
+)
+
+// Regression tests for the PSPT rebuild sweep: the per-rebuild tally
+// must live in a reused dense per-core slice (no map allocated per
+// rebuild) swept in core-ID order, so repeated rebuilds are
+// allocation-free and two identical machines charge identical per-core
+// interrupt debt.
+
+func newRebuildMgr(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		Cores: 8, Frames: 512, PageSize: sim.Size4k, Tables: PSPTKind,
+		PSPTRebuildPeriod: 1000, Pages: 128,
+	}, fifoFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now sim.Cycles
+	for c := 0; c < 8; c++ {
+		for p := 0; p < 12; p++ {
+			now = mustAccess(t, m, sim.CoreID(c), sim.PageID((p*5+c)%64), false, now)
+		}
+	}
+	return m
+}
+
+func TestPSPTRebuildDeterministicDebt(t *testing.T) {
+	m1, m2 := newRebuildMgr(t), newRebuildMgr(t)
+	m1.maybeRebuildPSPT(2000)
+	m2.maybeRebuildPSPT(2000)
+	for c := 0; c < 8; c++ {
+		d1, d2 := m1.TakeDebt(sim.CoreID(c)), m2.TakeDebt(sim.CoreID(c))
+		if d1 != d2 {
+			t.Errorf("core %d: debt %d vs %d across identical machines", c, d1, d2)
+		}
+		if d1 == 0 {
+			t.Errorf("core %d mapped pages but took no rebuild interrupt", c)
+		}
+	}
+}
+
+func TestPSPTRebuildSweepAllocFree(t *testing.T) {
+	m := newRebuildMgr(t)
+	tallyBefore := &m.rebuildCount[0]
+	now := m.nextRebuild
+	avg := testing.AllocsPerRun(100, func() {
+		m.maybeRebuildPSPT(now)
+		now += m.cfg.PSPTRebuildPeriod
+	})
+	if avg != 0 {
+		t.Errorf("rebuild sweep allocates %.1f objects, want 0", avg)
+	}
+	if tallyBefore != &m.rebuildCount[0] {
+		t.Error("per-core tally was reallocated across rebuilds")
+	}
+}
