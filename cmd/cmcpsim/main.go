@@ -63,6 +63,9 @@ func main() {
 		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
 		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
 
+		faultRate = flag.Float64("fault-rate", 0, "with -run: per-event device fault injection rate for every fault kind (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "with -run: fault injector seed (independent of -seed)")
+
 		traceFlag   = flag.Bool("trace", false, "record a flight-recorder event trace of the -run simulation")
 		traceOut    = flag.String("trace-out", "trace.json", "trace output path: .json = Chrome trace_event (Perfetto), .jsonl = JSON Lines")
 		sampleEvery = flag.Uint64("sample-every", 0, "time-series sampling interval in cycles (0 = off); CSV lands next to -trace-out")
@@ -81,7 +84,11 @@ func main() {
 		}
 	case *run:
 		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
-		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, topt); err != nil {
+		var faults *cmcp.FaultConfig
+		if *faultRate > 0 {
+			faults = cmcp.UniformFaults(*faultSeed, *faultRate)
+		}
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, faults, topt); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -133,7 +140,7 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) e
 	return nil
 }
 
-func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, topt traceOptions) error {
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, faults *cmcp.FaultConfig, topt traceOptions) error {
 	wl, ok := cmcp.WorkloadByName(wlName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", wlName)
@@ -173,6 +180,7 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		Policy:           cmcp.PolicySpec{Kind: kind, P: p, DynamicP: dynamicP},
 		Seed:             seed,
 		Probe:            rec,
+		Faults:           faults,
 	})
 	if err != nil {
 		return err
@@ -196,6 +204,11 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		float64(r.Total(cmcp.BytesIn))/1e6, float64(r.Total(cmcp.BytesOut))/1e6)
 	if res.Sharing != nil {
 		fmt.Printf("sharing       %v (pages by core-map count 0..n)\n", res.Sharing[:min(9, len(res.Sharing))])
+	}
+	if faults != nil {
+		fmt.Printf("faults        %d injected; recovered via %d retries, %d rollbacks, %d resent IPIs; %d frames quarantined, %d pages degraded\n",
+			r.Total(cmcp.FaultsInjected), r.Total(cmcp.RecoveryRetries), r.Total(cmcp.TxRollbacks),
+			r.Total(cmcp.ResentShootdowns), res.Quarantined, r.Total(cmcp.DegradedPages))
 	}
 	if rec != nil {
 		if err := writeTrace(rec, topt, cores); err != nil {

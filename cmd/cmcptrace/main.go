@@ -62,16 +62,22 @@ func main() {
 }
 
 // doReplay loads a flight-recorder JSONL event trace and writes the
-// bucketed text timeline plus a per-core activity summary to w.
+// bucketed text timeline plus a per-core activity summary to w. Traces
+// come from interrupted or concatenated runs often enough that the read
+// is lenient: malformed or truncated lines are skipped and counted, not
+// fatal.
 func doReplay(w io.Writer, path string, buckets int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, err := obs.ReadJSONL(f)
+	events, skipped, err := obs.ReadJSONLLenient(f)
 	if err != nil {
 		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "warning: skipped %d malformed line(s) in %s\n\n", skipped, path)
 	}
 	fmt.Fprint(w, obs.Timeline(events, buckets))
 	fmt.Fprint(w, coreSummary(events))

@@ -80,12 +80,32 @@ func TestReplayErrors(t *testing.T) {
 	if err := doReplay(&out, filepath.Join(t.TempDir(), "missing.jsonl"), 8); err == nil {
 		t.Error("missing file accepted")
 	}
-	bad := filepath.Join(t.TempDir(), "bad.jsonl")
-	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+}
+
+// TestReplaySkipsMalformedLines pins the lenient-replay contract: a
+// trace with garbage interleaved (truncated tail, stray log lines)
+// still renders, reporting how much was dropped instead of dying on the
+// first bad record.
+func TestReplaySkipsMalformedLines(t *testing.T) {
+	content := `{"t":100,"core":0,"ev":"fault","page":7,"arg":0}
+not json at all
+{"t":200,"core":1,"ev":"eviction","page":9,"arg":1}
+{"t":300,"core":0,"ev":"no_such_event","page":1,"arg":0}
+{"t":400,"core":1,"ev":"writeback","pa`
+	path := filepath.Join(t.TempDir(), "mixed.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := doReplay(&out, bad, 8); err == nil {
-		t.Error("malformed trace accepted")
+	var out bytes.Buffer
+	if err := doReplay(&out, path, 4); err != nil {
+		t.Fatalf("lenient replay failed: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "skipped 3 malformed line(s)") {
+		t.Errorf("missing skip summary:\n%s", text)
+	}
+	if !strings.Contains(text, "timeline: 2 events") {
+		t.Errorf("valid events not replayed:\n%s", text)
 	}
 }
 

@@ -1,0 +1,68 @@
+// Faultinjection runs the same CMCP configuration under increasing
+// device fault rates and shows what surviving faults costs: the
+// recovery work (retries, rollbacks, re-sent shootdowns), the capacity
+// lost to quarantined frames, and the runtime impact — all fully
+// deterministic, so a crash found at one seed replays exactly.
+//
+// The zero-rate row doubles as the determinism guarantee: attaching an
+// injector whose rates are all zero never draws a random number, so it
+// is bit-identical to not attaching one at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmcp"
+)
+
+func run(rate float64) (*cmcp.Result, error) {
+	cfg := cmcp.Config{
+		Cores:       56,
+		Workload:    cmcp.SCALE().Scale(0.5),
+		MemoryRatio: 0.3,
+		Tables:      cmcp.PSPT,
+		Policy:      cmcp.PolicySpec{Kind: cmcp.CMCP, P: -1},
+		Seed:        7,
+	}
+	if rate > 0 {
+		cfg.Faults = cmcp.UniformFaults(99, rate)
+	}
+	return cmcp.Simulate(cfg)
+}
+
+func main() {
+	baseline, err := run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CMCP on SCALE, 56 cores, device holds 30% of the footprint.")
+	fmt.Println("Every fault kind injected at the same per-event rate:")
+	fmt.Println()
+	fmt.Printf("%10s %12s %9s %9s %9s %12s %12s %9s\n",
+		"rate", "runtime(Mc)", "injected", "retries", "rollback", "resent_IPIs", "quarantined", "slowdown")
+	for _, rate := range []float64{0, 1e-5, 1e-4} {
+		res, err := run(rate)
+		if err != nil {
+			log.Fatalf("rate %g: %v", rate, err)
+		}
+		r := res.Run
+		fmt.Printf("%10.0e %12.2f %9d %9d %9d %12d %12d %8.2fx\n",
+			rate,
+			float64(res.Runtime)/1e6,
+			r.Total(cmcp.FaultsInjected),
+			r.Total(cmcp.RecoveryRetries),
+			r.Total(cmcp.TxRollbacks),
+			r.Total(cmcp.ResentShootdowns),
+			res.Quarantined,
+			float64(res.Runtime)/float64(baseline.Runtime))
+	}
+
+	fmt.Println()
+	fmt.Println("The run survives every injected fault: transient transfer failures")
+	fmt.Println("roll the page-in transaction back and retry under capped backoff,")
+	fmt.Println("corrupt frames are quarantined (the device simply shrinks), and")
+	fmt.Println("dropped shootdown acks are re-sent after a timeout. Without the")
+	fmt.Println("recovery machinery any one of these would abort the run.")
+}

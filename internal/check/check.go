@@ -123,9 +123,12 @@ func (a *Auditor) report(module, format string, args ...any) {
 	a.violations = append(a.violations, Violation{Module: module, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Audit cross-checks every bookkeeping layer of m once. It is
-// read-only; the manager must be between operations (the engine calls
-// it from the event loop, never mid-fault).
+// Audit cross-checks every bookkeeping layer of m once. The manager
+// must be between operations (the engine calls it from the event loop,
+// never mid-fault). Without fault injection it is read-only; under
+// fault injection the PSPT pass additionally acts as the recovery
+// trigger for injected bookkeeping skew (vm.Manager.DegradePage), so an
+// audited faulty run repairs what it finds instead of reporting it.
 func (a *Auditor) Audit(m *vm.Manager) {
 	a.audits++
 	a.auditResidency(m)
@@ -163,7 +166,7 @@ func (a *Auditor) auditResidency(m *vm.Manager) {
 			}
 		}
 	})
-	if inUse := int64(dev.NumFrames() - dev.FreeFrames()); inUse != framesMapped {
+	if inUse := int64(dev.NumFrames() - dev.FreeFrames() - dev.Quarantined()); inUse != framesMapped {
 		a.report("residency", "device has %d frames in use, mappings cover %d", inUse, framesMapped)
 	}
 	if got := m.Resident(); got != mappings {
@@ -222,6 +225,14 @@ func (a *Auditor) auditPSPT(m *vm.Manager) {
 				populated++
 			}
 			if ok != mp.Cores.Has(core) {
+				// A phantom core bit (set without a PTE behind it) is the
+				// signature of injected PSPT skew. Hand it to the manager
+				// for recovery — resync the set, degrade the page to
+				// regular-table semantics — and only report when the
+				// manager declines (no fault injection: a genuine bug).
+				if !ok && m.DegradePage(mp.Base) {
+					continue
+				}
 				a.report("pspt", "page %d: core set says core %d mapped=%v, table lookup says %v",
 					mp.Base, c, mp.Cores.Has(core), ok)
 				continue

@@ -1,0 +1,162 @@
+// Package fault is the simulator's deterministic fault injector. It
+// models the failure modes a real PCIe-attached hierarchical memory
+// manager sees in production — transient transfer failures, frames
+// that corrupt content in flight, lost TLB-shootdown acknowledgements,
+// stuck page locks, and lost page-table bookkeeping — as seeded random
+// trips the VM layer consults at each susceptible operation.
+//
+// An Injector is attached to one run via machine.Config.Faults (the
+// same optional-pointer pattern as Config.Probe and Config.Audit).
+// Every fault kind draws from its own RNG stream derived from the
+// injector seed, so enabling or re-rating one kind never perturbs the
+// trip sequence of another: the same seed and rates always produce the
+// same faults at the same operations, which is what makes recovery
+// behaviour golden-testable. A kind with rate zero never draws at all,
+// so an attached injector with all rates zero leaves a run bit-identical
+// to an uninjected one.
+//
+// Injectors are single-run, single-goroutine objects, matching the
+// engine's one-Simulate-is-single-threaded contract: never share one
+// Injector between concurrent Simulate calls (RunMany constructs one
+// per run from the shared Config).
+package fault
+
+import (
+	"fmt"
+
+	"cmcp/internal/sim"
+)
+
+// Kind identifies one injectable fault class.
+type Kind uint8
+
+const (
+	// PageIn is a transient host-to-device transfer failure: the whole
+	// page-in attempt is lost and the fault handler rolls back and
+	// retries with backoff. Drawn once per page-in attempt.
+	PageIn Kind = iota
+	// PageOut is a transient device-to-host write-back failure; the
+	// evictor retries the transfer with backoff. Drawn per dirty
+	// eviction.
+	PageOut
+	// Corrupt is a frame going bad during a transfer: the frame is
+	// quarantined (permanently retired, shrinking device capacity) and
+	// the page-in rolls back onto a fresh frame. Drawn per frame moved.
+	Corrupt
+	// DropAck is a lost remote-TLB-shootdown acknowledgement: the
+	// initiator times out and re-sends the IPI. Drawn per remote target.
+	DropAck
+	// StuckLock is a page lock whose holder stalls (interrupt storm,
+	// priority inversion): the acquirer waits out a timeout before the
+	// lock resolves. Drawn per fault-path lock acquisition.
+	StuckLock
+	// MapSkew is lost PSPT bookkeeping: a mapping's core set gains a
+	// phantom member with no backing PTE, the inconsistency the
+	// invariant auditor repairs by degrading the page to regular-table
+	// semantics. Drawn per PSPT minor fault.
+	MapSkew
+
+	numKinds
+)
+
+// NumKinds is the number of distinct fault kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [numKinds]string{
+	"page_in",
+	"page_out",
+	"corrupt",
+	"drop_ack",
+	"stuck_lock",
+	"map_skew",
+}
+
+// String returns the snake_case kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DefaultMaxRetries bounds transient-failure retries when
+// Config.MaxRetries is zero. Exhausting it surfaces vm.ErrIOFailure.
+const DefaultMaxRetries = 6
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every trip decision. Same seed + same rates on the
+	// same Config ⇒ same faults at the same operations ⇒ identical
+	// Results including recovery counters.
+	Seed uint64
+	// Rates holds the per-operation trip probability of each Kind in
+	// [0, 1]. A kind with rate zero never draws from its RNG stream.
+	Rates [NumKinds]float64
+	// MaxRetries caps transient retries (page-in, page-out, shootdown
+	// re-sends) before the operation fails the run; 0 = DefaultMaxRetries.
+	MaxRetries int
+}
+
+// Uniform returns a Config tripping every fault kind at the same rate —
+// the single-knob form the cmcpsim -fault-rate flag exposes.
+func Uniform(seed uint64, rate float64) *Config {
+	c := &Config{Seed: seed}
+	for k := range c.Rates {
+		c.Rates[k] = rate
+	}
+	return c
+}
+
+// Injector draws deterministic fault trips for one simulation run.
+// Construct a fresh one per run with NewInjector.
+type Injector struct {
+	rates      [numKinds]float64
+	rngs       [numKinds]*sim.RNG
+	injected   [numKinds]uint64
+	maxRetries int
+}
+
+// NewInjector builds a run-private injector from cfg. Each kind's RNG
+// is derived independently from the seed, so rating one kind up or down
+// leaves every other kind's trip sequence untouched.
+func NewInjector(cfg Config) *Injector {
+	in := &Injector{rates: cfg.Rates, maxRetries: cfg.MaxRetries}
+	if in.maxRetries <= 0 {
+		in.maxRetries = DefaultMaxRetries
+	}
+	for k := range in.rngs {
+		// SplitMix64 seeding decorrelates the per-kind streams even for
+		// adjacent derived seeds.
+		in.rngs[k] = sim.NewRNG(cfg.Seed ^ (uint64(k)+1)*0x9e3779b97f4a7c15)
+	}
+	return in
+}
+
+// Trip reports whether fault kind k strikes the current operation. A
+// zero-rate kind returns false without consuming randomness, keeping
+// zero-rate runs bit-identical to uninjected ones.
+func (in *Injector) Trip(k Kind) bool {
+	if in == nil || in.rates[k] <= 0 {
+		return false
+	}
+	if in.rngs[k].Float64() >= in.rates[k] {
+		return false
+	}
+	in.injected[k]++
+	return true
+}
+
+// MaxRetries returns the transient-retry cap.
+func (in *Injector) MaxRetries() int { return in.maxRetries }
+
+// Injected returns how many times kind k has tripped so far.
+func (in *Injector) Injected(k Kind) uint64 { return in.injected[k] }
+
+// TotalInjected returns the trip count summed over all kinds.
+func (in *Injector) TotalInjected() uint64 {
+	var t uint64
+	for _, n := range in.injected {
+		t += n
+	}
+	return t
+}

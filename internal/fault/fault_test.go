@@ -1,0 +1,106 @@
+package fault
+
+import "testing"
+
+// TestDeterminism pins the injector's core guarantee: the same Config
+// yields the same trip sequence, draw for draw.
+func TestDeterminism(t *testing.T) {
+	cfg := *Uniform(99, 0.3)
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 10_000; i++ {
+		k := Kind(i % NumKinds)
+		if a.Trip(k) != b.Trip(k) {
+			t.Fatalf("draw %d (%v): injectors diverged", i, k)
+		}
+	}
+	if a.TotalInjected() != b.TotalInjected() {
+		t.Fatalf("injected totals diverged: %d vs %d", a.TotalInjected(), b.TotalInjected())
+	}
+	if a.TotalInjected() == 0 {
+		t.Fatal("rate 0.3 over 10k draws tripped nothing")
+	}
+}
+
+// TestZeroRateDrawsNothing: a zero-rate kind must not consume
+// randomness, so enabling one kind cannot perturb another's sequence —
+// and an all-zero injector behaves exactly like no injector.
+func TestZeroRateDrawsNothing(t *testing.T) {
+	var cfg Config
+	cfg.Seed = 7
+	in := NewInjector(cfg)
+	for i := 0; i < 1000; i++ {
+		for k := Kind(0); k < Kind(NumKinds); k++ {
+			if in.Trip(k) {
+				t.Fatalf("zero-rate kind %v tripped", k)
+			}
+		}
+	}
+	if in.TotalInjected() != 0 {
+		t.Fatalf("injected %d with all rates zero", in.TotalInjected())
+	}
+
+	// One kind's sequence must not depend on the other kinds' rates.
+	only := Config{Seed: 7}
+	only.Rates[Corrupt] = 0.5
+	all := *Uniform(7, 0.5)
+	a, b := NewInjector(only), NewInjector(all)
+	for i := 0; i < 5000; i++ {
+		if a.Trip(Corrupt) != b.Trip(Corrupt) {
+			t.Fatalf("draw %d: Corrupt stream perturbed by other kinds' rates", i)
+		}
+	}
+}
+
+// TestNilInjectorNeverTrips: the VM guards every site with a nil check,
+// but Trip itself must also be nil-safe for helper paths.
+func TestNilInjectorNeverTrips(t *testing.T) {
+	var in *Injector
+	if in.Trip(PageIn) {
+		t.Fatal("nil injector tripped")
+	}
+}
+
+// TestRateOneAlwaysTrips and the rate statistics sanity check.
+func TestRates(t *testing.T) {
+	in := NewInjector(*Uniform(3, 1))
+	for i := 0; i < 100; i++ {
+		if !in.Trip(DropAck) {
+			t.Fatal("rate-1 kind failed to trip")
+		}
+	}
+	if in.Injected(DropAck) != 100 {
+		t.Fatalf("Injected(DropAck) = %d, want 100", in.Injected(DropAck))
+	}
+
+	in = NewInjector(Config{Seed: 11, Rates: [NumKinds]float64{PageIn: 0.01}})
+	trips := 0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if in.Trip(PageIn) {
+			trips++
+		}
+	}
+	if trips < n/200 || trips > n/50 {
+		t.Fatalf("rate 0.01 tripped %d of %d draws", trips, n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if got := NewInjector(Config{}).MaxRetries(); got != DefaultMaxRetries {
+		t.Fatalf("MaxRetries = %d, want default %d", got, DefaultMaxRetries)
+	}
+	if got := NewInjector(Config{MaxRetries: 3}).MaxRetries(); got != 3 {
+		t.Fatalf("MaxRetries = %d, want 3", got)
+	}
+	u := Uniform(1, 0.25)
+	for k, r := range u.Rates {
+		if r != 0.25 {
+			t.Fatalf("Uniform rate for %v = %v", Kind(k), r)
+		}
+	}
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		if k.String() == "" || k.String()[0] == 'k' {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"cmcp/internal/mem"
@@ -14,7 +15,8 @@ import (
 // These tests pin the panic-free error contract: a policy or content
 // failure inside the fault handler must surface as a structured error
 // from Simulate (matchable with errors.Is), never as a panic, and
-// RunMany must propagate the first failing run.
+// RunMany must aggregate every failing run while preserving the
+// successful runs' results.
 
 // stubbornPolicy refuses to ever offer a victim: with constrained
 // memory the allocator eventually finds no free frames and no victim.
@@ -97,17 +99,34 @@ func TestSimulateCorruptionIsError(t *testing.T) {
 	}
 }
 
-func TestRunManyPropagatesFirstFailure(t *testing.T) {
+func TestRunManyAggregatesFailures(t *testing.T) {
 	good := errConfig(nil)
 	good.Policy = PolicySpec{Kind: FIFO, P: -1}
 	bad := errConfig(func(policy.Host) policy.Policy {
 		return stubbornPolicy{policy.NewFIFO()}
 	})
-	results, err := RunMany([]Config{good, bad, good}, 2)
+	worse := errConfig(func(policy.Host) policy.Policy {
+		return lyingPolicy{policy.NewFIFO()}
+	})
+	results, err := RunMany([]Config{good, bad, good, worse}, 2)
 	if !errors.Is(err, vm.ErrNoVictim) {
-		t.Fatalf("err = %v, want ErrNoVictim", err)
+		t.Fatalf("err = %v, want ErrNoVictim in the join", err)
 	}
-	if results != nil {
-		t.Error("failed sweep must not return partial results")
+	if !errors.Is(err, vm.ErrBadVictim) {
+		t.Fatalf("err = %v, want ErrBadVictim in the join", err)
+	}
+	for _, frag := range []string{"run 1", "run 3", "custom"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d result slots, want 4 (one per config)", len(results))
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("successful runs must keep their results in a failed sweep")
+	}
+	if results[1] != nil || results[3] != nil {
+		t.Error("failed runs must leave nil result slots")
 	}
 }

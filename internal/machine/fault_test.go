@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cmcp/internal/check"
+	"cmcp/internal/fault"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// recoveryCounters are the counters the fault-injection machinery feeds;
+// they must be exactly zero on any fault-free run (the golden table pins
+// that) and deterministic on any faulty one.
+var recoveryCounters = []stats.Counter{
+	stats.FaultsInjected,
+	stats.RecoveryRetries,
+	stats.TxRollbacks,
+	stats.QuarantinedFrames,
+	stats.ResentShootdowns,
+	stats.DegradedPages,
+}
+
+// faultConfig is the standing acceptance configuration: the paper's
+// SCALE-like workload on a 56-core machine under CMCP, memory
+// constrained enough to page steadily. NoWarmup keeps warm-up faults in
+// the measured counters so the injection totals cover the whole run.
+func faultConfig(seed uint64, rate float64) Config {
+	return Config{
+		Cores:       56,
+		Workload:    workload.SCALE(),
+		MemoryRatio: 0.3,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      PolicySpec{Kind: CMCP, P: -1},
+		Seed:        11,
+		NoWarmup:    true,
+		Faults:      fault.Uniform(seed, rate),
+	}
+}
+
+// TestZeroRateFaultsBitIdentical pins the determinism guarantee at its
+// sharpest point: attaching an injector whose rates are all zero must
+// leave every golden variant bit-identical to the nil-Faults capture,
+// because zero-rate kinds never draw from their RNG streams.
+func TestZeroRateFaultsBitIdentical(t *testing.T) {
+	for _, name := range []string{"CMCP", "FIFO/regularPT", "CMCP/64k"} {
+		cfg := goldenVariants()[name]
+		cfg.Faults = &fault.Config{Seed: 12345}
+		want := goldenRuns[name]
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Runtime != want.Runtime {
+			t.Errorf("%s: runtime = %d, want golden %d", name, res.Runtime, want.Runtime)
+		}
+		for c := 0; c < stats.NumCounters; c++ {
+			if got := res.Run.Total(stats.Counter(c)); got != want.Counters[c] {
+				t.Errorf("%s: %s = %d, want golden %d", name, stats.Counter(c).Name(), got, want.Counters[c])
+			}
+		}
+	}
+}
+
+// TestFaultInjectionDeterministic runs one faulty configuration twice —
+// once directly and once through RunMany's recycled arenas — and
+// requires bit-identical Results including every recovery counter.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	cfg := faultConfig(99, 1e-4)
+	cfg.Workload = cfg.Workload.Scale(0.25)
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunMany([]Config{cfg, cfg}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range results {
+		if b.Runtime != a.Runtime {
+			t.Errorf("run %d: runtime = %d, want %d", i, b.Runtime, a.Runtime)
+		}
+		if b.Quarantined != a.Quarantined {
+			t.Errorf("run %d: quarantined = %d, want %d", i, b.Quarantined, a.Quarantined)
+		}
+		for c := 0; c < stats.NumCounters; c++ {
+			if got, want := b.Run.Total(stats.Counter(c)), a.Run.Total(stats.Counter(c)); got != want {
+				t.Errorf("run %d: %s = %d, want %d", i, stats.Counter(c).Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestFaultRecoverySCALE56 is the headline acceptance run: SCALE on 56
+// cores under CMCP with every fault kind injected at 1e-4 must complete
+// without error while actually exercising the recovery paths.
+func TestFaultRecoverySCALE56(t *testing.T) {
+	res, err := Simulate(faultConfig(99, 1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []stats.Counter{stats.RecoveryRetries, stats.TxRollbacks, stats.QuarantinedFrames} {
+		if res.Run.Total(c) == 0 {
+			t.Errorf("%s = 0, want nonzero at rate 1e-4", c.Name())
+		}
+	}
+	if got, want := res.Quarantined, int(res.Run.Total(stats.QuarantinedFrames)); got != want {
+		t.Errorf("Result.Quarantined = %d, counter says %d (no warm-up: they must agree)", got, want)
+	}
+	if res.Quarantined >= res.Frames {
+		t.Errorf("quarantined %d of %d frames: device should survive this rate", res.Quarantined, res.Frames)
+	}
+}
+
+// TestQuarantineToExhaustion injects corruption on every transfer: each
+// page-in attempt retires one more frame, so the device must run out of
+// healthy frames and the run must end in a wrapped ErrNoVictim carrying
+// the quarantine context — never an ErrIOFailure and never a hang.
+func TestQuarantineToExhaustion(t *testing.T) {
+	var rates [fault.NumKinds]float64
+	rates[fault.Corrupt] = 1
+	cfg := Config{
+		Cores:       2,
+		Workload:    workload.Uniform(64, 500),
+		MemoryRatio: 0.5,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      PolicySpec{Kind: FIFO, P: -1},
+		Seed:        5,
+		NoWarmup:    true,
+		Faults:      &fault.Config{Seed: 1, Rates: rates},
+	}
+	_, err := Simulate(cfg)
+	if !errors.Is(err, vm.ErrNoVictim) {
+		t.Fatalf("err = %v, want wrapped ErrNoVictim", err)
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("err %q does not carry the quarantine context", err)
+	}
+}
+
+// TestFaultMatrix sweeps seeds and policies at a survivable rate; every
+// cell must complete. CI runs this under -race as the fault matrix job.
+func TestFaultMatrix(t *testing.T) {
+	var cfgs []Config
+	for _, kind := range []PolicyKind{CMCP, FIFO} {
+		for _, seed := range []uint64{1, 2, 3} {
+			cfg := faultConfig(seed, 5e-5)
+			cfg.Workload = cfg.Workload.Scale(0.25)
+			cfg.Policy = PolicySpec{Kind: kind, P: -1}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := RunMany(cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("run %d: nil result", i)
+		}
+		if res.Run.Total(stats.FaultsInjected) == 0 {
+			t.Errorf("run %d (%s seed %d): no faults injected", i, res.PolicyName, res.Config.Faults.Seed)
+		}
+	}
+}
+
+// TestDegradedModeUnderAudit injects only PSPT bookkeeping skew with the
+// invariant auditor attached: the auditor must recognize the phantom
+// core bits as injected skew, repair them through DegradePage instead of
+// failing the run, and account the affected pages as degraded.
+func TestDegradedModeUnderAudit(t *testing.T) {
+	var rates [fault.NumKinds]float64
+	rates[fault.MapSkew] = 0.02
+	cfg := goldenConfig()
+	cfg.Policy = PolicySpec{Kind: CMCP, P: -1}
+	cfg.NoWarmup = true
+	cfg.Faults = &fault.Config{Seed: 4, Rates: rates}
+	cfg.Audit = check.New(check.Config{Every: 512})
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("audited skew run must recover, got %v", err)
+	}
+	if res.Run.Total(stats.FaultsInjected) == 0 {
+		t.Fatal("no skew injected; raise the rate")
+	}
+	if res.Run.Total(stats.DegradedPages) == 0 {
+		t.Error("auditor never degraded a page despite injected skew")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"cmcp/internal/check"
 	"cmcp/internal/core"
 	"cmcp/internal/dense"
+	"cmcp/internal/fault"
 	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
@@ -133,6 +134,16 @@ type Config struct {
 	// the run. nil disables auditing. Like Probe, an Auditor serves one
 	// run at a time — never share one across concurrent RunMany calls.
 	Audit *check.Auditor
+	// Faults attaches the deterministic fault injector (see
+	// internal/fault): seeded per-event-kind rates for transient transfer
+	// failures, frame corruption, dropped shootdown acks, stuck page
+	// locks and PSPT bookkeeping skew, which the VM layer recovers from
+	// instead of aborting. nil disables injection entirely; a non-nil
+	// config with all-zero rates never draws from any RNG, so such a run
+	// is bit-identical to a nil-Faults run. Unlike Probe/Audit this is
+	// plain data — each run builds its own Injector — so one Config is
+	// safe to reuse across concurrent RunMany runs.
+	Faults *fault.Config
 }
 
 // Result is one run's outcome.
@@ -151,6 +162,11 @@ type Result struct {
 	Resident int
 	// PolicyName is the resolved policy's display name.
 	PolicyName string
+	// Quarantined is the number of device frames permanently retired by
+	// injected corruption over the whole run, warm-up included (frame
+	// retirement is device state and survives the counter rebase; the
+	// QuarantinedFrames counter covers the measured phase only).
+	Quarantined int
 }
 
 // Frames computes the device size in 4 kB frames for a footprint of
@@ -370,6 +386,12 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		// Built fresh per run so Configs stay shareable and reruns with
+		// the same fault seed replay the same injection stream.
+		inj = fault.NewInjector(*cfg.Faults)
+	}
 	mgr, err := vm.NewManager(vm.Config{
 		Cores:    cfg.Cores,
 		Frames:   frames,
@@ -384,6 +406,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
 		Probe:             cfg.Probe,
+		Faults:            inj,
 	}, factory)
 	if err != nil {
 		return nil, err
@@ -433,13 +456,14 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 	}
 
 	res := &Result{
-		Config:     cfg,
-		Run:        run,
-		Runtime:    run.Runtime(),
-		Frames:     frames,
-		TotalPages: layout.TotalPages,
-		PolicyName: mgr.Policy().Name(),
-		Resident:   mgr.Resident(),
+		Config:      cfg,
+		Run:         run,
+		Runtime:     run.Runtime(),
+		Frames:      frames,
+		TotalPages:  layout.TotalPages,
+		PolicyName:  mgr.Policy().Name(),
+		Resident:    mgr.Resident(),
+		Quarantined: mgr.Device().Quarantined(),
 	}
 	if h, ok := mgr.SharingHistogram(); ok {
 		res.Sharing = h

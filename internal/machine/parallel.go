@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,13 @@ import (
 // single-threaded and deterministic, so the sweep is embarrassingly
 // parallel: this is how the experiment harness exploits the host
 // machine's cores without sacrificing reproducibility.
+//
+// Failures aggregate rather than short-circuit: every run executes, the
+// returned slice always has len(cfgs) entries (nil where a run failed),
+// and the error joins one wrapped error per failed run — each carrying
+// the run index, policy, workload kind and seed, so a sweep with three
+// broken points names all three. errors.Is still matches the underlying
+// sentinels (vm.ErrNoVictim etc.) through the join.
 func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -44,10 +52,17 @@ func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("machine: run %d: %w", i, err)
+			cfg := &cfgs[i]
+			pol := cfg.Policy.Kind.String()
+			if cfg.Policy.Factory != nil {
+				pol = "custom"
+			}
+			joined = append(joined, fmt.Errorf("machine: run %d (policy %s, workload %q, seed %d): %w",
+				i, pol, cfg.Workload.Name, cfg.Seed, err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(joined...)
 }

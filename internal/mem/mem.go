@@ -33,17 +33,19 @@ func (s Signature) Mix(core sim.CoreID, seq uint64) Signature {
 
 // frame is the per-frame record of device memory.
 type frame struct {
-	vpn   sim.PageID // owner page, or -1 when free
-	sig   Signature
-	dirty bool
+	vpn         sim.PageID // owner page, or -1 when free
+	sig         Signature
+	dirty       bool
+	quarantined bool // permanently retired; never free, never allocated
 }
 
 // Device models the co-processor's on-board RAM as an array of 4 kB
 // frames with a free list. It is not safe for concurrent use; the
 // discrete-event engine serializes access.
 type Device struct {
-	frames []frame
-	free   []sim.FrameID
+	frames      []frame
+	free        []sim.FrameID
+	quarantined int
 }
 
 // NewDevice creates a device memory with n 4 kB frames.
@@ -93,7 +95,7 @@ func (d *Device) AllocRange(vpn sim.PageID, span int) (sim.FrameID, error) {
 	for base := 0; base+span <= n; base += span {
 		ok := true
 		for i := 0; i < span; i++ {
-			if d.frames[base+i].vpn != -1 {
+			if d.frames[base+i].vpn != -1 || d.frames[base+i].quarantined {
 				ok = false
 				break
 			}
@@ -133,6 +135,32 @@ func (d *Device) Free(f sim.FrameID) {
 	fr.dirty = false
 	d.free = append(d.free, f)
 }
+
+// Quarantine permanently retires frame f: it leaves its owner (the
+// caller must have rolled the mapping back), never rejoins the free
+// list, and is skipped by every future allocation — the device degrades
+// to a smaller healthy capacity instead of serving a bad frame again.
+// Quarantining an already-quarantined frame panics.
+func (d *Device) Quarantine(f sim.FrameID) {
+	fr := &d.frames[f]
+	if fr.quarantined {
+		panic(fmt.Sprintf("mem: double quarantine of frame %d", f))
+	}
+	fr.vpn = -1
+	fr.dirty = false
+	fr.sig = 0
+	fr.quarantined = true
+	d.quarantined++
+}
+
+// Quarantined returns the number of permanently retired frames.
+func (d *Device) Quarantined() int { return d.quarantined }
+
+// HealthyFrames returns the device capacity excluding retired frames.
+func (d *Device) HealthyFrames() int { return len(d.frames) - d.quarantined }
+
+// IsQuarantined reports whether frame f has been retired.
+func (d *Device) IsQuarantined(f sim.FrameID) bool { return d.frames[f].quarantined }
 
 // Owner returns the page occupying frame f, or -1 if free.
 func (d *Device) Owner(f sim.FrameID) sim.PageID { return d.frames[f].vpn }

@@ -190,3 +190,55 @@ func TestHostPageOutIn(t *testing.T) {
 		t.Errorf("byte accounting: in=%d out=%d", h.InBytes, h.OutBytes)
 	}
 }
+
+// TestQuarantine pins the frame-retirement contract: a quarantined
+// frame leaves its owner, never rejoins the free list, is skipped by
+// both allocation paths, and shrinks the healthy capacity — allocation
+// keeps working on the survivors until they run out.
+func TestQuarantine(t *testing.T) {
+	d := NewDevice(4)
+	f, err := d.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Quarantine(f)
+	if !d.IsQuarantined(f) || d.Quarantined() != 1 || d.HealthyFrames() != 3 {
+		t.Fatalf("after quarantine: q=%d healthy=%d", d.Quarantined(), d.HealthyFrames())
+	}
+	if d.Owner(f) != -1 {
+		t.Fatalf("quarantined frame still owned by %d", d.Owner(f))
+	}
+	// The retired frame must never come back from Alloc.
+	seen := map[sim.FrameID]bool{}
+	for {
+		g, err := d.Alloc(sim.PageID(20 + len(seen)))
+		if err != nil {
+			break
+		}
+		if g == f {
+			t.Fatalf("Alloc handed out quarantined frame %d", f)
+		}
+		seen[g] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("allocated %d frames from a 4-frame device with 1 quarantined", len(seen))
+	}
+
+	// AllocRange must refuse runs that cross a quarantined frame.
+	d2 := NewDevice(4)
+	g, err := d2.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Quarantine(g)
+	if _, err := d2.AllocRange(0, 4); err == nil {
+		t.Fatal("AllocRange spanned a quarantined frame")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("double quarantine did not panic")
+		}
+	}()
+	d.Quarantine(f)
+}

@@ -48,9 +48,26 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// ReadJSONL decodes a JSONL event stream written by WriteJSONL.
+// ReadJSONL decodes a JSONL event stream written by WriteJSONL. It is
+// strict: the first malformed or unrecognized line fails the read. Use
+// ReadJSONLLenient for traces of dubious provenance (truncated files,
+// concatenated logs).
 func ReadJSONL(r io.Reader) ([]Event, error) {
+	events, _, err := readJSONL(r, true)
+	return events, err
+}
+
+// ReadJSONLLenient decodes a JSONL event stream, skipping malformed,
+// truncated or unknown-type lines instead of failing on them; skipped
+// reports how many lines were dropped. Only an I/O error (or a single
+// line exceeding the scanner limit) still fails the read.
+func ReadJSONLLenient(r io.Reader) (events []Event, skipped int, err error) {
+	return readJSONL(r, false)
+}
+
+func readJSONL(r io.Reader, strict bool) ([]Event, int, error) {
 	var out []Event
+	skipped := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	line := 0
@@ -62,11 +79,19 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		var je jsonlEvent
 		if err := json.Unmarshal([]byte(text), &je); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			if strict {
+				return nil, 0, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			skipped++
+			continue
 		}
 		typ, ok := EventTypeByName(je.Type)
 		if !ok {
-			return nil, fmt.Errorf("obs: line %d: unknown event type %q", line, je.Type)
+			if strict {
+				return nil, 0, fmt.Errorf("obs: line %d: unknown event type %q", line, je.Type)
+			}
+			skipped++
+			continue
 		}
 		out = append(out, Event{
 			Time: sim.Cycles(je.Time),
@@ -77,9 +102,9 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return out, nil
+	return out, skipped, nil
 }
 
 // chromeTS formats a cycle timestamp as trace_event microseconds with

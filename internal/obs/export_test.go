@@ -93,6 +93,31 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadJSONLLenient(t *testing.T) {
+	events := fixtureEvents()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stream the ways real trace files break: a stray log
+	// line in the middle, an unknown event type, and a truncated tail.
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	mixed := lines[0] + "\nGC pause 12ms\n" +
+		strings.Join(lines[1:], "\n") +
+		"\n{\"t\":1,\"ev\":\"no_such_event\"}\n" +
+		lines[0][:len(lines[0])/2]
+	back, skipped, err := ReadJSONLLenient(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("valid events lost:\n got %+v\nwant %+v", back, events)
+	}
+}
+
 func TestChromeTraceGolden(t *testing.T) {
 	var b bytes.Buffer
 	if err := WriteChromeTrace(&b, fixtureEvents(), fixtureSamples(), 4); err != nil {

@@ -51,6 +51,24 @@ const (
 	ScanClears
 	// Touches counts simulated page touches executed.
 	Touches
+	// FaultsInjected counts injector trips of any kind charged to this
+	// core (zero unless a fault.Injector is attached to the run).
+	FaultsInjected
+	// RecoveryRetries counts recovered transient failures: page-in and
+	// page-out re-transfers plus stuck-lock timeouts waited out.
+	RecoveryRetries
+	// TxRollbacks counts transactional page-in attempts that were rolled
+	// back (frames released, state unchanged) before a retry.
+	TxRollbacks
+	// QuarantinedFrames counts device frames permanently retired after
+	// corrupting content in flight.
+	QuarantinedFrames
+	// ResentShootdowns counts remote TLB invalidation IPIs re-sent after
+	// an acknowledgement timeout.
+	ResentShootdowns
+	// DegradedPages counts pages demoted to regular-table semantics
+	// after the auditor repaired injected PSPT core-set skew.
+	DegradedPages
 
 	numCounters
 )
@@ -70,6 +88,12 @@ var counterNames = [numCounters]string{
 	"lock_wait_cycles",
 	"scan_clears",
 	"touches",
+	"faults_injected",
+	"recovery_retries",
+	"tx_rollbacks",
+	"quarantined_frames",
+	"resent_shootdowns",
+	"degraded_pages",
 }
 
 // NumCounters is the number of distinct counters.
