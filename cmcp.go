@@ -43,6 +43,7 @@ import (
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
+	"cmcp/internal/sweep"
 	"cmcp/internal/tlb"
 	"cmcp/internal/trace"
 	"cmcp/internal/vm"
@@ -280,6 +281,36 @@ func RunAllExperiments(o ExperimentOptions) ([]*ExperimentReport, error) {
 // Constraint returns the per-workload memory ratio used by the Fig. 7 /
 // Table 1 experiments (the paper's 50-60 %-of-native methodology).
 func Constraint(workloadName string) float64 { return experiments.Constraint(workloadName) }
+
+// Sweep infrastructure: experiment grids run through a checkpointed,
+// resumable, shardable runner (internal/sweep). ExperimentOptions
+// exposes its knobs (Journal, Imports, Shard/Shards, Progress); the
+// types below let callers observe a sweep and inspect its journals.
+type (
+	// SweepProgress is a thread-safe sweep progress meter; attach one
+	// via ExperimentOptions.Progress and poll Snapshot or String from
+	// any goroutine.
+	SweepProgress = obs.Progress
+	// SweepProgressSnapshot is one consistent progress reading.
+	SweepProgressSnapshot = obs.ProgressSnapshot
+	// SweepEntry is one completed run recorded in a sweep journal.
+	SweepEntry = sweep.Entry
+)
+
+// NewSweepProgress returns an empty progress meter.
+func NewSweepProgress() *SweepProgress { return obs.NewProgress() }
+
+// SweepKey returns the deterministic content key identifying cfg's run
+// in sweep journals (configs with a custom Policy.Factory have no
+// stable cross-process identity and are rejected).
+func SweepKey(cfg Config) (string, error) { return sweep.Key(cfg) }
+
+// ReadSweepJournal reads a sweep journal, skipping malformed entry
+// lines (e.g. the torn last line of a killed sweep) and reporting how
+// many were dropped. A missing or mismatched header fails the read.
+func ReadSweepJournal(r io.Reader) ([]SweepEntry, int, error) {
+	return sweep.ReadJournalLenient(r)
+}
 
 // Observability: attach a Recorder through Config.Probe to capture a
 // flight-recorder event trace and periodic time-series samples, then

@@ -6,6 +6,14 @@
 //	cmcpsim -exp fig7 -scale 0.25    # one experiment, smaller/faster
 //	cmcpsim -exp table1 -csv         # machine-readable output
 //
+// Long sweeps checkpoint to a journal (resume after a crash picks up
+// where it left off) and can be split across processes by shard:
+//
+//	cmcpsim -exp all -journal sweep.jsonl -progress
+//	cmcpsim -exp all -journal s0.jsonl -shard 0/2   # CI job A
+//	cmcpsim -exp all -journal s1.jsonl -shard 1/2   # CI job B
+//	cmcpsim -exp all -journal s0.jsonl -journal-import s1.jsonl  # merge
+//
 // Run a single simulation:
 //
 //	cmcpsim -run -workload cg.B -cores 56 -ratio 0.4 -policy CMCP -p 0.25
@@ -53,6 +61,11 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		repeats  = flag.Int("repeats", 1, "replicate each run under N seeds and average")
 
+		journal       = flag.String("journal", "", "with -exp: checkpoint completed runs to this JSONL journal and resume from it")
+		journalImport = flag.String("journal-import", "", "with -exp: comma-separated read-only journals to merge (other shards' output)")
+		shard         = flag.String("shard", "", "with -exp: run only shard i of n, as \"i/n\"; partitions the grid by content key")
+		progress      = flag.Bool("progress", false, "with -exp: report sweep progress (runs done/total, runs/s, ETA) on stderr")
+
 		run      = flag.Bool("run", false, "run a single simulation instead of an experiment")
 		wlName   = flag.String("workload", "SCALE", "workload: bt.B|lu.B|cg.B|SCALE")
 		cores    = flag.Int("cores", 56, "application cores")
@@ -63,8 +76,8 @@ func main() {
 		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
 		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
 
-		faultRate = flag.Float64("fault-rate", 0, "with -run: per-event device fault injection rate for every fault kind (0 = off)")
-		faultSeed = flag.Uint64("fault-seed", 1, "with -run: fault injector seed (independent of -seed)")
+		faultRate = flag.Float64("fault-rate", 0, "with -run or -exp: per-event device fault injection rate for every fault kind (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "with -run or -exp: fault injector seed (independent of -seed)")
 
 		traceFlag   = flag.Bool("trace", false, "record a flight-recorder event trace of the -run simulation")
 		traceOut    = flag.String("trace-out", "trace.json", "trace output path: .json = Chrome trace_event (Perfetto), .jsonl = JSON Lines")
@@ -77,28 +90,46 @@ func main() {
 	)
 	flag.Parse()
 
+	var faults *cmcp.FaultConfig
+	if *faultRate > 0 {
+		faults = cmcp.UniformFaults(*faultSeed, *faultRate)
+	}
 	switch {
 	case *bench:
+		if faults != nil {
+			// Benchmarks measure the fault-free hot path; injecting
+			// would silently skew every number.
+			fatal(fmt.Errorf("-fault-rate is not supported with -bench (benchmarks measure the fault-free hot path)"))
+		}
 		if err := runBench(*benchN, *benchJSON, *benchOut, *seed); err != nil {
 			fatal(err)
 		}
 	case *run:
 		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
-		var faults *cmcp.FaultConfig
-		if *faultRate > 0 {
-			faults = cmcp.UniformFaults(*faultSeed, *faultRate)
-		}
 		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, faults, topt); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
-		if err := runExperiments(*exp, cmcp.ExperimentOptions{
+		shardIdx, shardCount, err := parseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		o := cmcp.ExperimentOptions{
 			Scale:       *scale,
 			Quick:       *quick,
 			Seed:        *seed,
 			Parallelism: *parallel,
 			Repeats:     *repeats,
-		}, *csv, *plotFlag); err != nil {
+			Faults:      faults,
+			Journal:     *journal,
+			Imports:     splitList(*journalImport),
+			Shard:       shardIdx,
+			Shards:      shardCount,
+		}
+		if shardCount > 1 && *journal == "" {
+			fatal(fmt.Errorf("-shard requires -journal: a shard's only output is its journal"))
+		}
+		if err := runExperiments(*exp, o, *csv, *plotFlag, *progress); err != nil {
 			fatal(err)
 		}
 	default:
@@ -107,15 +138,59 @@ func main() {
 	}
 }
 
+// parseShard parses "i/n" (e.g. "0/4"); "" means unsharded.
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: want \"i/n\" with 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cmcpsim:", err)
 	os.Exit(1)
 }
 
-func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) error {
+func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progress bool) error {
 	ids := []string{id}
 	if id == "all" {
 		ids = []string{"fig6", "fig8", "fig7", "table1", "fig9", "fig10", "sense"}
+	}
+	sharded := o.Shards > 1
+	if progress || sharded {
+		o.Progress = cmcp.NewSweepProgress()
+	}
+	if progress {
+		// Periodic one-line status on stderr while the sweep grinds.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(5 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "[sweep] %s\n", o.Progress)
+				}
+			}
+		}()
 	}
 	for _, one := range ids {
 		start := time.Now()
@@ -123,9 +198,13 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) e
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch {
+		case sharded:
+			// A shard's report is scaffolding full of placeholder rows;
+			// its real output is the journal. Say so instead of printing.
+		case csv:
 			fmt.Print(rep.CSV())
-		} else {
+		default:
 			fmt.Print(rep.String())
 			if plotCharts {
 				for _, tab := range rep.Tables {
@@ -136,6 +215,16 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts bool) e
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", one, time.Since(start).Round(time.Millisecond))
+	}
+	if s := o.Progress; s != nil {
+		snap := s.Snapshot()
+		fmt.Fprintf(os.Stderr, "[sweep] %s\n", snap)
+		if sharded {
+			fmt.Fprintf(os.Stderr,
+				"[sweep] shard %d/%d complete: %d runs journaled to %s (%d reused, %d left to other shards)\n"+
+					"[sweep] run the remaining shards, then merge with: -exp %s -journal %s -journal-import <other journals>\n",
+				o.Shard, o.Shards, snap.Executed, o.Journal, snap.Loaded, snap.Missing, id, o.Journal)
+		}
 	}
 	return nil
 }

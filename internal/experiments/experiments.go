@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"strings"
 
+	"cmcp/internal/fault"
 	"cmcp/internal/machine"
+	"cmcp/internal/obs"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
+	"cmcp/internal/sweep"
 	"cmcp/internal/vm"
 	"cmcp/internal/workload"
 )
@@ -36,8 +39,28 @@ type Options struct {
 	Parallelism int
 	// Repeats replicates every run with seeds Seed..Seed+Repeats-1 and
 	// averages the results, tightening the scaled-down runs' noise
-	// (0 or 1 = single run).
+	// (0 or 1 = single run). The replication and averaging are the
+	// sweep runner's deterministic merge step (internal/sweep).
 	Repeats int
+	// Faults, when non-nil, attaches the deterministic fault injector
+	// to every generated run config, so whole experiment grids run
+	// under injected device faults (cmcpsim -exp -fault-rate). Safe to
+	// share across concurrent runs: each run builds its own injector.
+	Faults *fault.Config
+	// Journal checkpoints every completed run to a JSONL file and
+	// resumes from it on restart; see sweep.Options.Journal.
+	Journal string
+	// Imports are read-only extra journals (other shards' output).
+	Imports []string
+	// Shard/Shards partition the run grid by content key across
+	// independent processes; see sweep.Options. A sharded invocation
+	// fills the grid points of other shards with inert placeholders,
+	// so callers must treat its report as scaffolding and read only
+	// the journal (cmcpsim suppresses the report and says so).
+	Shard, Shards int
+	// Progress, when non-nil, observes sweep planning and completion
+	// (runs done/total, runs/s, ETA).
+	Progress *obs.Progress
 }
 
 func (o Options) scale() float64 {
@@ -129,6 +152,7 @@ func (o Options) baseConfig(spec workload.Spec, cores int) machine.Config {
 		Tables:      vm.PSPTKind,
 		Policy:      machine.PolicySpec{Kind: machine.FIFO, P: -1},
 		Seed:        o.Seed,
+		Faults:      o.Faults,
 	}
 }
 
@@ -161,44 +185,31 @@ func (r *Report) CSV() string {
 	return b.String()
 }
 
-// run executes configs with the options' parallelism. With Repeats > 1
-// every config runs under Repeats seeds and the returned results are
-// the per-config averages (runtime, counters and finish times).
+// run executes one batch of configs through the sweep runner, which
+// handles parallel execution (machine.RunMany), the journal checkpoint/
+// resume cycle, shard partitioning, and Repeats seed-replication with
+// deterministic averaging. Grid points belonging to other shards come
+// back as inert placeholders so every renderer stays total; a sharded
+// caller reads the journal, not the report.
 func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
-	reps := o.Repeats
-	if reps <= 1 {
-		return machine.RunMany(cfgs, o.Parallelism)
-	}
-	expanded := make([]machine.Config, 0, len(cfgs)*reps)
-	for _, cfg := range cfgs {
-		for r := 0; r < reps; r++ {
-			c := cfg
-			c.Seed = cfg.Seed + uint64(r)
-			expanded = append(expanded, c)
-		}
-	}
-	raw, err := machine.RunMany(expanded, o.Parallelism)
+	out, err := sweep.Run(cfgs, sweep.Options{
+		Journal:     o.Journal,
+		Imports:     o.Imports,
+		Shard:       o.Shard,
+		Shards:      o.Shards,
+		Parallelism: o.Parallelism,
+		Repeats:     o.Repeats,
+		Progress:    o.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*machine.Result, len(cfgs))
-	for i := range cfgs {
-		agg := raw[i*reps]
-		var runtime sim.Cycles
-		for r := 0; r < reps; r++ {
-			res := raw[i*reps+r]
-			runtime += res.Runtime
-			if r > 0 {
-				if err := agg.Run.Merge(res.Run); err != nil {
-					return nil, err
-				}
-			}
+	for i, r := range out.Results {
+		if r == nil {
+			out.Results[i] = sweep.Placeholder(cfgs[i])
 		}
-		agg.Run.DivideBy(uint64(reps))
-		agg.Runtime = runtime / sim.Cycles(reps)
-		out[i] = agg
 	}
-	return out, nil
+	return out.Results, nil
 }
 
 // All runs every experiment in paper order.

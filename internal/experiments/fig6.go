@@ -53,7 +53,7 @@ func Fig6(o Options) (*Report, error) {
 						count += hist[j]
 					}
 				}
-				cells[k-1] = fmt.Sprintf("%.1f%%", 100*float64(count)/float64(maxInt(total, 1)))
+				cells[k-1] = fmt.Sprintf("%.1f%%", 100*float64(count)/float64(max(total, 1)))
 			}
 			for k := range cells {
 				if cells[k] == nil {
@@ -65,11 +65,4 @@ func Fig6(o Options) (*Report, error) {
 		rep.Tables = append(rep.Tables, tab)
 	}
 	return rep, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"cmcp/internal/dense"
@@ -20,13 +21,32 @@ import (
 // and the error joins one wrapped error per failed run — each carrying
 // the run index, policy, workload kind and seed, so a sweep with three
 // broken points names all three. errors.Is still matches the underlying
-// sentinels (vm.ErrNoVictim etc.) through the join.
+// sentinels (vm.ErrNoVictim etc.) through the join. A panic inside one
+// run — a faulty custom Policy.Factory, say — is recovered and becomes
+// that slot's error the same way; the sibling runs complete normally.
 func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
+	return RunManyNotify(cfgs, parallelism, nil)
+}
+
+// RunManyNotify is RunMany with a completion hook: when notify is
+// non-nil it is invoked once per run, as soon as that run finishes,
+// with the run's input index, its result and its error (exactly one of
+// which is non-nil). This is how the sweep runner journals completed
+// runs incrementally instead of waiting for the whole batch.
+//
+// notify is called from the worker goroutines, concurrently: it must
+// be safe for concurrent use, and long hooks serialize the workers
+// behind whatever lock they take.
+func RunManyNotify(cfgs []Config, parallelism int, notify func(i int, res *Result, err error)) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		// Nothing to sweep: no workers are spawned at all.
+		return []*Result{}, nil
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(cfgs) {
-		parallelism = len(cfgs)
+		parallelism = len(cfgs) // never more workers than runs
 	}
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
@@ -42,8 +62,11 @@ func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
 			// between runs is safe.
 			sc := &dense.Scratch{}
 			for i := range work {
-				results[i], errs[i] = simulate(cfgs[i], sc)
+				results[i], errs[i] = runRecovered(cfgs[i], &sc)
 				sc.Recycle()
+				if notify != nil {
+					notify(i, results[i], errs[i])
+				}
 			}
 		}()
 	}
@@ -65,4 +88,21 @@ func RunMany(cfgs []Config, parallelism int) ([]*Result, error) {
 		}
 	}
 	return results, errors.Join(joined...)
+}
+
+// runRecovered executes one simulation, converting a panic anywhere in
+// the engine — most plausibly a faulty custom Policy.Factory or policy
+// implementation — into that run's error, so one broken run cannot
+// kill the whole sweep process and lose every sibling result.
+func runRecovered(cfg Config, sc **dense.Scratch) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The abandoned run may still hold scratch slabs; hand the
+			// worker a fresh arena rather than recycling torn state.
+			*sc = &dense.Scratch{}
+			res = nil
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return simulate(cfg, *sc)
 }

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProgressCounts(t *testing.T) {
+	p := NewProgress()
+	if s := p.Snapshot(); s.Total != 0 || s.Done() != 0 {
+		t.Fatalf("fresh meter not zero: %+v", s)
+	}
+	p.AddTotal(10)
+	p.AddTotal(10) // multi-batch experiments announce grids incrementally
+	p.NoteLoaded(3)
+	p.NoteMissing(2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.NoteExecuted()
+		}()
+	}
+	wg.Wait()
+
+	s := p.Snapshot()
+	if s.Total != 20 || s.Executed != 4 || s.Loaded != 3 || s.Missing != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Done() != 7 {
+		t.Fatalf("Done() = %d, want 7", s.Done())
+	}
+	if s.Elapsed <= 0 {
+		t.Error("clock did not start at AddTotal")
+	}
+
+	str := s.String()
+	for _, frag := range []string{"7/20 runs", "(3 journaled)", "(2 in other shards)"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q, missing %q", str, frag)
+		}
+	}
+}
+
+func TestProgressStringEmpty(t *testing.T) {
+	// A meter nobody advanced must render without dividing by zero.
+	if got := NewProgress().String(); !strings.Contains(got, "0/0 runs (0.0%)") {
+		t.Errorf("String() = %q", got)
+	}
+}

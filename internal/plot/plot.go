@@ -131,7 +131,7 @@ func Lines(title string, xlabels []string, series []Series, width, height int) s
 
 // drawSegment draws a sparse connector between two points.
 func drawSegment(grid [][]rune, c0, r0, c1, r1 int, ch rune) {
-	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	steps := max(absInt(c1-c0), absInt(r1-r0))
 	for s := 1; s < steps; s++ {
 		c := c0 + (c1-c0)*s/steps
 		r := r0 + (r1-r0)*s/steps
@@ -154,13 +154,6 @@ func absInt(a int) int {
 		return -a
 	}
 	return a
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // FromTable converts a stats.Table whose cells are numeric (possibly

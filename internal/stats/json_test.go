@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cmcp/internal/sim"
+)
+
+// The sweep journal persists Runs as JSON; the resume guarantee (a
+// restarted sweep is bit-identical to an uninterrupted one) requires
+// this round trip to be exact, not approximately equal.
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	r := NewRun(3)
+	for core := sim.CoreID(0); core < 4; core++ {
+		for c := Counter(0); c < Counter(NumCounters); c++ {
+			r.Add(core, c, uint64(core)*1000+uint64(c)*7+1)
+		}
+		r.Finish[core] = sim.Cycles(1<<60) + sim.Cycles(core)
+	}
+	// Values beyond float64's 53-bit mantissa must survive untouched.
+	r.Add(0, PageFaults, (1<<63)+3)
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != r.Cores {
+		t.Fatalf("cores = %d, want %d", back.Cores, r.Cores)
+	}
+	for core := sim.CoreID(0); core < 4; core++ {
+		for c := Counter(0); c < Counter(NumCounters); c++ {
+			if got, want := back.Get(core, c), r.Get(core, c); got != want {
+				t.Fatalf("core %d counter %s: %d != %d", core, c.Name(), got, want)
+			}
+		}
+		if back.Finish[core] != r.Finish[core] {
+			t.Fatalf("core %d finish: %d != %d", core, back.Finish[core], r.Finish[core])
+		}
+	}
+}
+
+func TestRunJSONShapeMismatch(t *testing.T) {
+	r := NewRun(2)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tamper := range []func(m map[string]any){
+		func(m map[string]any) { m["cores"] = 7 },
+		func(m map[string]any) { m["counters"] = []uint64{1, 2, 3} },
+		func(m map[string]any) { m["finish"] = []uint64{} },
+	} {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		tamper(m)
+		bad, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Run
+		if err := json.Unmarshal(bad, &back); err == nil {
+			t.Errorf("tampered shape %s accepted", bad)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -242,6 +243,40 @@ func (r *Run) DivideBy(n uint64) {
 	for i := range r.Finish {
 		r.Finish[i] /= sim.Cycles(n)
 	}
+}
+
+// runJSON is Run's serialized form: the flat per-core counter matrix
+// (rows are cores 0..Cores with the scanner pseudo-core last) plus the
+// finish times. Which counter each column is lives one level up — the
+// sweep journal's header records the stats.CounterNames() in force when
+// the file was written, so a journal from a different counter set is
+// rejected instead of silently misattributed.
+type runJSON struct {
+	Cores    int          `json:"cores"`
+	Counters []uint64     `json:"counters"`
+	Finish   []sim.Cycles `json:"finish"`
+}
+
+// MarshalJSON encodes the run losslessly: counters and finish times are
+// exact uint64s in Go's round trip, so a journaled run merges
+// bit-identically to the in-memory one it snapshots.
+func (r *Run) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runJSON{Cores: r.Cores, Counters: r.counters, Finish: r.Finish})
+}
+
+// UnmarshalJSON decodes a run written by MarshalJSON, rejecting records
+// whose shape does not match the current counter set.
+func (r *Run) UnmarshalJSON(data []byte) error {
+	var j runJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Cores < 0 || len(j.Counters) != (j.Cores+1)*NumCounters || len(j.Finish) != j.Cores+1 {
+		return fmt.Errorf("stats: run record shape mismatch: %d cores, %d counters, %d finish times",
+			j.Cores, len(j.Counters), len(j.Finish))
+	}
+	r.Cores, r.counters, r.Finish = j.Cores, j.Counters, j.Finish
+	return nil
 }
 
 // Table is a simple rectangular result table with row labels, used by

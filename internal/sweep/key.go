@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"cmcp/internal/fault"
+	"cmcp/internal/machine"
+)
+
+// keyVersion is folded into every content key. Bump it whenever the
+// meaning of a hashed field changes (not merely when fields are added —
+// added fields change keys by themselves), so journals written under
+// older semantics can never satisfy a new sweep.
+const keyVersion = 1
+
+// Key returns the deterministic content key of one run configuration:
+// a 64-bit FNV-1a hash, rendered as 16 hex digits, over every field
+// that can influence the simulation's result — policy, workload spec,
+// cores, memory ratio, page size and table kind, seeds, cost model, TLB
+// geometry, and the fault-injection config. Two Configs share a key iff
+// they describe the same deterministic run, which is what lets a
+// journal replace re-execution and lets shards partition a grid with no
+// coordination.
+//
+// Probe and Audit are deliberately excluded: both are read-only
+// observers that never change a run's Result. Custom policy factories
+// cannot be content-hashed (a function value has no stable identity
+// across processes), so configs carrying one are rejected.
+func Key(cfg machine.Config) (string, error) {
+	if cfg.Policy.Factory != nil {
+		return "", fmt.Errorf("sweep: custom Policy.Factory configs cannot be content-keyed (no stable cross-process identity); use a built-in PolicyKind")
+	}
+	w := hasher{h: fnv.New64a()}
+	w.u64(keyVersion)
+
+	w.i(cfg.Cores)
+
+	// Workload spec, field by field in declaration order.
+	s := cfg.Workload
+	w.str(s.Name)
+	w.i(s.Pages)
+	w.i(s.TotalTouches)
+	w.f64(s.WriteFrac)
+	w.i(len(s.Sharing))
+	for _, b := range s.Sharing {
+		w.i(b.Cores)
+		w.f64(b.Frac)
+		w.f64(b.HotFrac)
+	}
+	w.f64(s.SharedHotFrac)
+	w.f64(s.PrivateHotFrac)
+	w.f64(s.HotQ)
+	w.i(s.Burst)
+	w.f64(s.SeqP)
+	w.b(s.PhaseShift)
+	w.i(s.HotStripe)
+	w.f64(s.HotSkew)
+
+	w.f64(cfg.MemoryRatio)
+	w.u64(uint64(cfg.PageSize))
+	w.b(cfg.AdaptivePageSize)
+	w.u64(uint64(cfg.Tables))
+
+	w.u64(uint64(cfg.Policy.Kind))
+	w.f64(cfg.Policy.P)
+	w.b(cfg.Policy.DynamicP)
+	w.u64(uint64(cfg.Policy.ScanPeriod))
+	w.i(cfg.Policy.ScanBatch)
+
+	w.u64(cfg.Seed)
+
+	// CostModel is all fixed-size fields (Cycles, float64), so the
+	// binary encoding covers future fields automatically.
+	if err := binary.Write(w.h, binary.LittleEndian, cfg.Cost); err != nil {
+		return "", fmt.Errorf("sweep: hashing cost model: %w", err)
+	}
+
+	w.i(cfg.TLB.L1Entries4k)
+	w.i(cfg.TLB.L1Entries64k)
+	w.i(cfg.TLB.L1Entries2M)
+	w.i(cfg.TLB.L2Entries)
+
+	w.b(cfg.Verify)
+	w.u64(uint64(cfg.TickInterval))
+	w.b(cfg.NoWarmup)
+	w.u64(uint64(cfg.PSPTRebuildPeriod))
+
+	if cfg.Faults != nil {
+		w.b(true)
+		w.u64(cfg.Faults.Seed)
+		for k := 0; k < fault.NumKinds; k++ {
+			w.f64(cfg.Faults.Rates[k])
+		}
+		w.i(cfg.Faults.MaxRetries)
+	} else {
+		w.b(false)
+	}
+
+	return fmt.Sprintf("%016x", w.h.Sum64()), nil
+}
+
+// ShardOf assigns a key to one of n shards: an independent hash of the
+// key string, modulo n. The grid's keys spread uniformly, so n CI jobs
+// each running ShardOf(key)==i split one sweep evenly with no
+// coordination — the assignment is a pure function of (key, n).
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// hasher accumulates fixed-width field encodings into a 64-bit FNV.
+type hasher struct{ h hash.Hash64 }
+
+func (w hasher) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.h.Write(b[:])
+}
+
+func (w hasher) i(v int)       { w.u64(uint64(int64(v))) }
+func (w hasher) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w hasher) b(v bool) {
+	if v {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w hasher) str(s string) {
+	w.u64(uint64(len(s)))
+	io.WriteString(w.h, s)
+}

@@ -1,0 +1,294 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cmcp/internal/fault"
+	"cmcp/internal/machine"
+	"cmcp/internal/policy"
+	"cmcp/internal/sim"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// testCfg is a small, fast PSPT run; seeds differentiate grid points.
+func testCfg(seed uint64) machine.Config {
+	return machine.Config{
+		Cores:       2,
+		Workload:    workload.Uniform(128, 3000),
+		MemoryRatio: 0.5,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      machine.PolicySpec{Kind: machine.FIFO, P: -1},
+		Seed:        seed,
+	}
+}
+
+// grid is a small mixed sweep: two policies at two seeds.
+func grid() []machine.Config {
+	var cfgs []machine.Config
+	for _, kind := range []machine.PolicyKind{machine.FIFO, machine.CMCP} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			c := testCfg(seed)
+			c.Policy = machine.PolicySpec{Kind: kind, P: 0.5}
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	base := testCfg(1)
+	k1, err := Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same config, different keys: %s vs %s", k1, k2)
+	}
+	if len(k1) != 16 {
+		t.Fatalf("key %q is not a 16-hex-digit hash", k1)
+	}
+
+	// Every result-influencing field must perturb the key.
+	mutations := map[string]func(*machine.Config){
+		"cores":     func(c *machine.Config) { c.Cores++ },
+		"seed":      func(c *machine.Config) { c.Seed++ },
+		"ratio":     func(c *machine.Config) { c.MemoryRatio = 0.6 },
+		"pagesize":  func(c *machine.Config) { c.PageSize = sim.Size64k },
+		"adaptive":  func(c *machine.Config) { c.AdaptivePageSize = true },
+		"tables":    func(c *machine.Config) { c.Tables = vm.RegularPT },
+		"policy":    func(c *machine.Config) { c.Policy.Kind = machine.LRU },
+		"policy-p":  func(c *machine.Config) { c.Policy.P = 0.875 },
+		"workload":  func(c *machine.Config) { c.Workload.TotalTouches += 5 },
+		"wl-name":   func(c *machine.Config) { c.Workload.Name = "other" },
+		"cost":      func(c *machine.Config) { c.Cost.FaultEntry += 10 },
+		"verify":    func(c *machine.Config) { c.Verify = true },
+		"nowarmup":  func(c *machine.Config) { c.NoWarmup = true },
+		"tick":      func(c *machine.Config) { c.TickInterval = 12345 },
+		"faults":    func(c *machine.Config) { c.Faults = &fault9 },
+		"faultseed": func(c *machine.Config) { f := fault9; f.Seed++; c.Faults = &f },
+	}
+	seen := map[string]string{k1: "base"}
+	for name, mutate := range mutations {
+		c := base
+		mutate(&c)
+		k, err := Key(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+var fault9 = func() (f fault.Config) {
+	f.Seed = 9
+	f.Rates[0] = 1e-4
+	return
+}()
+
+func TestKeyRejectsCustomFactory(t *testing.T) {
+	c := testCfg(1)
+	c.Policy = machine.PolicySpec{Factory: func(policy.Host) policy.Policy { return policy.NewFIFO() }}
+	if _, err := Key(c); err == nil || !strings.Contains(err.Error(), "Factory") {
+		t.Fatalf("err = %v, want custom-factory rejection", err)
+	}
+}
+
+func TestShardOfPartitions(t *testing.T) {
+	var keys []string
+	for seed := uint64(0); seed < 64; seed++ {
+		k, err := Key(testCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	for _, n := range []int{1, 2, 3, 5} {
+		counts := make([]int, n)
+		for _, k := range keys {
+			s := ShardOf(k, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d, out of range", k, n, s)
+			}
+			if s != ShardOf(k, n) {
+				t.Fatalf("ShardOf(%q, %d) not deterministic", k, n)
+			}
+			counts[s]++ // disjoint and covering: each key lands exactly once
+		}
+		if n > 1 {
+			empty := 0
+			for _, c := range counts {
+				if c == 0 {
+					empty++
+				}
+			}
+			if empty == n-1 {
+				t.Errorf("n=%d: all 64 keys on one shard: %v", n, counts)
+			}
+		}
+	}
+	if ShardOf("abc", 0) != 0 || ShardOf("abc", 1) != 0 {
+		t.Error("n<=1 must map everything to shard 0")
+	}
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	cfgs := grid()
+	opts := func() Options { return Options{Parallelism: 2, Repeats: 2} }
+
+	ref, err := Run(cfgs, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" after the first grid point: journal only cfgs[0], then
+	// tear the journal the way a kill mid-write would.
+	j := filepath.Join(t.TempDir(), "sweep.jsonl")
+	o := opts()
+	o.Journal = j
+	if _, err := Run(cfgs[:1], o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(j, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume over the full grid: the journaled replicates load, the torn
+	// line costs one skip, and the merged output matches the
+	// uninterrupted reference bit for bit. The counts reflect replicate
+	// dedup: Repeats=2 expands seed-1 and seed-2 grid points to seed
+	// sets {1,2} and {2,3}, so the seed-2 run is shared — per policy
+	// there are 3 unique runs covering 4 slots. cfgs[0]'s journal holds
+	// FIFO seeds {1,2}, which satisfies 3 of the FIFO slots; the other
+	// 4 unique runs (FIFO@3, CMCP@{1,2,3}) execute.
+	out, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SkippedLines != 1 {
+		t.Errorf("SkippedLines = %d, want 1", out.SkippedLines)
+	}
+	if out.Loaded != 3 {
+		t.Errorf("Loaded = %d, want 3 (cfgs[0]'s replicates, one shared)", out.Loaded)
+	}
+	if out.Executed != 4 {
+		t.Errorf("Executed = %d, want 4", out.Executed)
+	}
+	if out.Missing != 0 {
+		t.Errorf("Missing = %d, want 0", out.Missing)
+	}
+	if !reflect.DeepEqual(out.Results, ref.Results) {
+		t.Fatal("resumed sweep differs from uninterrupted sweep")
+	}
+
+	// A third run satisfies every slot from the journal.
+	again, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.Loaded != len(cfgs)*2 {
+		t.Errorf("full resume executed %d, loaded %d, want 0 and %d",
+			again.Executed, again.Loaded, len(cfgs)*2)
+	}
+	if !reflect.DeepEqual(again.Results, ref.Results) {
+		t.Fatal("journal-only sweep differs from uninterrupted sweep")
+	}
+}
+
+func TestShardsSplitAndMerge(t *testing.T) {
+	cfgs := grid()
+	ref, err := Run(cfgs, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	j0 := filepath.Join(dir, "shard0.jsonl")
+	j1 := filepath.Join(dir, "shard1.jsonl")
+	out0, err := Run(cfgs, Options{Journal: j0, Shard: 0, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := Run(cfgs, Options{Journal: j1, Shard: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out0.Executed + out1.Executed; got != len(cfgs) {
+		t.Fatalf("shards executed %d+%d runs, want %d total", out0.Executed, out1.Executed, len(cfgs))
+	}
+	// Each shard leaves the other's grid points nil and counts them.
+	if out0.Missing != out1.Executed || out1.Missing != out0.Executed {
+		t.Errorf("missing counts %d/%d do not mirror executed %d/%d",
+			out0.Missing, out1.Missing, out0.Executed, out1.Executed)
+	}
+
+	// The merge invocation imports both journals and executes nothing.
+	merged, err := Run(cfgs, Options{Imports: []string{j0, j1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Executed != 0 {
+		t.Errorf("merge executed %d runs, want 0", merged.Executed)
+	}
+	if merged.Loaded != len(cfgs) {
+		t.Errorf("merge loaded %d runs, want %d", merged.Loaded, len(cfgs))
+	}
+	if !reflect.DeepEqual(merged.Results, ref.Results) {
+		t.Fatal("sharded merge differs from unsharded sweep")
+	}
+}
+
+func TestRunShardOutOfRange(t *testing.T) {
+	if _, err := Run(grid(), Options{Shard: 3, Shards: 2}); err == nil {
+		t.Fatal("shard 3/2 accepted")
+	}
+}
+
+func TestDuplicateGridPointsRunOnce(t *testing.T) {
+	c := testCfg(1)
+	out, err := Run([]machine.Config{c, c, c}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executed != 1 {
+		t.Errorf("Executed = %d, want 1 (duplicates share one run)", out.Executed)
+	}
+	if !reflect.DeepEqual(out.Results[0], out.Results[1]) || !reflect.DeepEqual(out.Results[0], out.Results[2]) {
+		t.Error("duplicate grid points got different results")
+	}
+}
+
+func TestJournalRejectsForeignHeader(t *testing.T) {
+	dir := t.TempDir()
+	for name, contents := range map[string]string{
+		"noheader.jsonl":    `{"key":"abc","cores":1}` + "\n",
+		"badschema.jsonl":   `{"schema":"cmcp-sweep/v0","counters":[]}` + "\n",
+		"badcounters.jsonl": `{"schema":"cmcp-sweep/v1","counters":["bogus"]}` + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Journal: path}
+		if _, err := Run([]machine.Config{testCfg(1)}, o); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

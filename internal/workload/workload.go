@@ -233,7 +233,7 @@ func (s Spec) Build(cores int) (*Layout, error) {
 			isHot := int(hotFrac*(b+1)) > int(hotFrac*b)
 			// Owner group: k adjacent cores, rotating start so groups
 			// spread evenly.
-			start := (i * cores / maxInt(bandPages, 1)) % cores
+			start := (i * cores / max(bandPages, 1)) % cores
 			for j := 0; j < k; j++ {
 				c := (start + j) % cores
 				if isHot {
@@ -246,13 +246,6 @@ func (s Spec) Build(cores int) (*Layout, error) {
 	}
 	l.TotalPages = int(next)
 	return l, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Layout is the materialized per-core page populations of a workload at
