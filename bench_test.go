@@ -151,6 +151,37 @@ func BenchmarkSimulateTraceEnabled(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkSimulateHistDisabled is the histogram overhead guard's
+// baseline: the identical run with Config.Hist false, where every
+// instrumented site costs exactly one nil-check branch. The perf-smoke
+// CI job runs this next to BenchmarkSimulateHistEnabled; the disabled
+// path must stay within noise (<3%) of the pre-histogram baseline.
+func BenchmarkSimulateHistDisabled(b *testing.B) {
+	benchHist(b, false)
+}
+
+// BenchmarkSimulateHistEnabled measures the same run with the latency
+// histograms recording — the price of distribution telemetry.
+func BenchmarkSimulateHistEnabled(b *testing.B) {
+	benchHist(b, true)
+}
+
+func benchHist(b *testing.B, enabled bool) {
+	b.Helper()
+	cfg := benchTraceCfg()
+	cfg.Hist = enabled
+	b.ResetTimer()
+	var touches uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmcp.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		touches += res.Run.Total(cmcp.Touches)
+	}
+	b.ReportMetric(float64(touches)/b.Elapsed().Seconds(), "touches/s")
+}
+
 // BenchmarkAblationNoPSPT quantifies the PSPT design choice from
 // DESIGN.md: identical workload and policy, regular tables vs PSPT.
 // The reported metric is the simulated runtime ratio (regular/PSPT) —

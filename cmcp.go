@@ -38,12 +38,14 @@ import (
 	"cmcp/internal/core"
 	"cmcp/internal/experiments"
 	"cmcp/internal/fault"
+	"cmcp/internal/hist"
 	"cmcp/internal/machine"
 	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
 	"cmcp/internal/stats"
 	"cmcp/internal/sweep"
+	"cmcp/internal/telemetry"
 	"cmcp/internal/tlb"
 	"cmcp/internal/trace"
 	"cmcp/internal/vm"
@@ -312,6 +314,73 @@ func ReadSweepJournal(r io.Reader) ([]SweepEntry, int, error) {
 	return sweep.ReadJournalLenient(r)
 }
 
+// Latency histograms: set Config.Hist and the run records log₂
+// distributions of page-fault service time, eviction+write-back
+// latency, shootdown ack round-trip, lock-wait duration and shootdown
+// fan-out into Run.Hists. Like Probe/Audit, the instrumentation is
+// read-only — counters and runtimes stay bit-identical — but unlike
+// them Hist is plain data: it sweeps, journals and Repeats-merges
+// (replicate histograms pool rather than average, keeping the merge
+// exact).
+type (
+	// Histogram is one fixed-bucket log₂ histogram (exact integer
+	// bucket bounds, mergeable, deterministic).
+	Histogram = hist.H
+	// HistogramSummary is a histogram's compact rendering:
+	// count/mean/max and the p50/p90/p99/p999 quantile upper bounds.
+	HistogramSummary = hist.Summary
+	// HistID identifies one per-run histogram in a HistSet.
+	HistID = stats.HistID
+	// HistSet is the fixed array of a run's histograms; Run.Hists is
+	// nil unless Config.Hist was set.
+	HistSet = stats.HistSet
+)
+
+// Per-run histograms (indexes into a HistSet).
+const (
+	// FaultServiceHist is end-to-end page-fault service time in cycles,
+	// including lock waits, eviction work and fault-injection retries.
+	FaultServiceHist = stats.FaultServiceHist
+	// EvictionHist is victim eviction + write-back latency in cycles.
+	EvictionHist = stats.EvictionHist
+	// ShootdownHist is the per-target shootdown ack round-trip in
+	// cycles, re-sends included.
+	ShootdownHist = stats.ShootdownHist
+	// LockWaitHist is non-zero lock/DMA-bus wait duration in cycles.
+	LockWaitHist = stats.LockWaitHist
+	// FanoutHist is the remote-core fan-out of shootdown broadcasts.
+	FanoutHist = stats.FanoutHist
+)
+
+// HistNames returns the histogram names in HistID order (the same
+// string table the JSON forms, sweep journals and /metrics use).
+func HistNames() []string { return stats.HistNames() }
+
+// Live telemetry: a TelemetryServer exposes Prometheus text-format
+// /metrics (counters + histograms), /progress JSON and net/http/pprof
+// while runs execute. It is push-only — completed runs are published
+// into an atomically swapped immutable snapshot, so HTTP readers never
+// touch (or perturb) live simulation state. cmcpsim wires one behind
+// -serve; library users feed it from ExperimentOptions.OnResult.
+type (
+	// TelemetryServer is the live /metrics, /progress and pprof server.
+	TelemetryServer = telemetry.Server
+	// TelemetrySnapshot is one immutable published aggregate.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// NewTelemetryServer builds a telemetry server; progress (may be nil)
+// backs /progress. Call Start(addr) to listen and Publish per run.
+func NewTelemetryServer(progress *SweepProgress) *TelemetryServer {
+	return telemetry.New(progress)
+}
+
+// ValidateMetricsExposition schema-checks a Prometheus text-format
+// /metrics body served by a TelemetryServer: every registered family
+// present with correct TYPE and cumulative histogram buckets, and no
+// unregistered families (the drift guard CI scrapes against).
+func ValidateMetricsExposition(r io.Reader) error { return telemetry.ValidateExposition(r) }
+
 // Observability: attach a Recorder through Config.Probe to capture a
 // flight-recorder event trace and periodic time-series samples, then
 // export them for offline analysis (JSONL, Perfetto, CSV).
@@ -370,8 +439,27 @@ const (
 // NewRecorder builds a flight recorder to attach via Config.Probe.
 func NewRecorder(cfg RecorderConfig) *Recorder { return obs.NewRecorder(cfg) }
 
+// TraceMeta is the optional metadata header line of a JSONL event
+// trace; its Dropped count is how replay tools detect that the
+// recorder's bounded ring overflowed and the trace is incomplete.
+type TraceMeta = obs.TraceMeta
+
 // WriteTraceJSONL exports recorded events as JSON Lines.
 func WriteTraceJSONL(w io.Writer, events []TraceEvent) error { return obs.WriteJSONL(w, events) }
+
+// WriteTraceJSONLWithMeta exports recorded events as JSON Lines behind
+// a TraceMeta header carrying the recorder's drop count. Older readers
+// skip the header line; ReadTraceJSONLMeta returns it.
+func WriteTraceJSONLWithMeta(w io.Writer, events []TraceEvent, dropped uint64) error {
+	return obs.WriteJSONLWithMeta(w, events, dropped)
+}
+
+// ReadTraceJSONLMeta loads a JSONL event trace leniently (like
+// ReadTraceJSONLLenient) and additionally returns its metadata header,
+// or nil for traces written without one.
+func ReadTraceJSONLMeta(r io.Reader) ([]TraceEvent, *TraceMeta, int, error) {
+	return obs.ReadJSONLMeta(r)
+}
 
 // ReadTraceJSONL loads a JSONL event trace written by WriteTraceJSONL.
 // The first malformed line fails the read; see ReadTraceJSONLLenient.

@@ -50,6 +50,36 @@ type traceOptions struct {
 	sampleEvery uint64
 }
 
+// serveOptions bundles the live-telemetry flags.
+type serveOptions struct {
+	addr  string
+	grace time.Duration
+}
+
+// startTelemetry starts the live telemetry server when -serve is set.
+// It returns the server (nil when disabled) and a stop function that
+// holds the server open for the grace period — so a scraper arriving
+// just as a fast sweep finishes still sees the final state — and then
+// shuts it down.
+func startTelemetry(sopt serveOptions, progress *cmcp.SweepProgress) (*cmcp.TelemetryServer, func(), error) {
+	if sopt.addr == "" {
+		return nil, func() {}, nil
+	}
+	srv := cmcp.NewTelemetryServer(progress)
+	if err := srv.Start(sopt.addr); err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "[telemetry] serving http://%s/ (/metrics, /progress, /debug/pprof)\n", srv.Addr())
+	stop := func() {
+		if sopt.grace > 0 {
+			fmt.Fprintf(os.Stderr, "[telemetry] holding server open for %s\n", sopt.grace)
+			time.Sleep(sopt.grace)
+		}
+		srv.Close()
+	}
+	return srv, stop, nil
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment to regenerate: fig6|fig7|fig8|fig9|fig10|table1|sense|all")
@@ -79,6 +109,10 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "with -run or -exp: per-event device fault injection rate for every fault kind (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "with -run or -exp: fault injector seed (independent of -seed)")
 
+		histFlag   = flag.Bool("hist", false, "with -run or -exp: record latency/fan-out histograms (read-only; counters stay bit-identical)")
+		serve      = flag.String("serve", "", "with -run or -exp: serve live telemetry (/metrics, /progress, /debug/pprof) on this address, e.g. 127.0.0.1:9151")
+		serveGrace = flag.Duration("serve-grace", 0, "with -serve: keep the telemetry server up this long after the work finishes, so a scraper cannot race a fast run")
+
 		traceFlag   = flag.Bool("trace", false, "record a flight-recorder event trace of the -run simulation")
 		traceOut    = flag.String("trace-out", "trace.json", "trace output path: .json = Chrome trace_event (Perfetto), .jsonl = JSON Lines")
 		sampleEvery = flag.Uint64("sample-every", 0, "time-series sampling interval in cycles (0 = off); CSV lands next to -trace-out")
@@ -94,6 +128,7 @@ func main() {
 	if *faultRate > 0 {
 		faults = cmcp.UniformFaults(*faultSeed, *faultRate)
 	}
+	sopt := serveOptions{addr: *serve, grace: *serveGrace}
 	switch {
 	case *bench:
 		if faults != nil {
@@ -101,12 +136,15 @@ func main() {
 			// would silently skew every number.
 			fatal(fmt.Errorf("-fault-rate is not supported with -bench (benchmarks measure the fault-free hot path)"))
 		}
+		if sopt.addr != "" {
+			fatal(fmt.Errorf("-serve is not supported with -bench (serve a -run or -exp instead)"))
+		}
 		if err := runBench(*benchN, *benchJSON, *benchOut, *seed); err != nil {
 			fatal(err)
 		}
 	case *run:
 		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
-		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, faults, topt); err != nil {
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, faults, topt, *histFlag, sopt); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -125,11 +163,12 @@ func main() {
 			Imports:     splitList(*journalImport),
 			Shard:       shardIdx,
 			Shards:      shardCount,
+			Hist:        *histFlag,
 		}
 		if shardCount > 1 && *journal == "" {
 			fatal(fmt.Errorf("-shard requires -journal: a shard's only output is its journal"))
 		}
-		if err := runExperiments(*exp, o, *csv, *plotFlag, *progress); err != nil {
+		if err := runExperiments(*exp, o, *csv, *plotFlag, *progress, sopt); err != nil {
 			fatal(err)
 		}
 	default:
@@ -166,14 +205,24 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progress bool) error {
+func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progress bool, sopt serveOptions) error {
 	ids := []string{id}
 	if id == "all" {
 		ids = []string{"fig6", "fig8", "fig7", "table1", "fig9", "fig10", "sense"}
 	}
 	sharded := o.Shards > 1
-	if progress || sharded {
+	if progress || sharded || sopt.addr != "" {
 		o.Progress = cmcp.NewSweepProgress()
+	}
+	srv, stopSrv, err := startTelemetry(sopt, o.Progress)
+	if err != nil {
+		return err
+	}
+	defer stopSrv()
+	if srv != nil {
+		// Executed runs stream into the server's atomic snapshot as
+		// they complete; scrapers read the snapshot, never live state.
+		o.OnResult = func(r *cmcp.Result) { srv.Publish(r.Run) }
 	}
 	if progress {
 		// Periodic one-line status on stderr while the sweep grinds.
@@ -229,7 +278,12 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progre
 	return nil
 }
 
-func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, faults *cmcp.FaultConfig, topt traceOptions) error {
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, faults *cmcp.FaultConfig, topt traceOptions, hist bool, sopt serveOptions) error {
+	srv, stopSrv, err := startTelemetry(sopt, nil)
+	if err != nil {
+		return err
+	}
+	defer stopSrv()
 	wl, ok := cmcp.WorkloadByName(wlName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", wlName)
@@ -270,9 +324,13 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		Seed:             seed,
 		Probe:            rec,
 		Faults:           faults,
+		Hist:             hist,
 	})
 	if err != nil {
 		return err
+	}
+	if srv != nil {
+		srv.Publish(res.Run)
 	}
 	r := res.Run
 	sizeLabel := size.String()
@@ -299,6 +357,19 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 			r.Total(cmcp.FaultsInjected), r.Total(cmcp.RecoveryRetries), r.Total(cmcp.TxRollbacks),
 			r.Total(cmcp.ResentShootdowns), res.Quarantined, r.Total(cmcp.DegradedPages))
 	}
+	if hs := r.Hists; hs != nil {
+		fmt.Printf("latency histograms (cycles unless noted):\n")
+		fmt.Printf("  %-26s %10s %12s %8s %8s %8s %8s %10s\n",
+			"", "count", "mean", "p50", "p90", "p99", "p999", "max")
+		for i, name := range cmcp.HistNames() {
+			s := hs.Get(cmcp.HistID(i)).Summarize()
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-26s %10d %12.1f %8d %8d %8d %8d %10d\n",
+				name, s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+		}
+	}
 	if rec != nil {
 		if err := writeTrace(rec, topt, cores); err != nil {
 			return err
@@ -319,7 +390,10 @@ func writeTrace(rec *cmcp.Recorder, topt traceOptions, cores int) error {
 		events := rec.Events()
 		switch {
 		case strings.HasSuffix(topt.out, ".jsonl"):
-			err = cmcp.WriteTraceJSONL(f, events)
+			// The meta header carries the drop count into the file, so
+			// cmcptrace -replay can warn that the ring overflowed
+			// instead of presenting a truncated trace as complete.
+			err = cmcp.WriteTraceJSONLWithMeta(f, events, rec.Dropped())
 		default:
 			err = cmcp.WriteChromeTrace(f, events, rec.Samples(), cores)
 		}
@@ -358,6 +432,11 @@ type benchResult struct {
 	TouchesPerS float64           `json:"touches_per_sec"`
 	RuntimeCyc  uint64            `json:"simulated_runtime_cycles"`
 	Counters    map[string]uint64 `json:"counters"`
+	// Hists carries per-histogram latency summaries (cmcp-bench/v2),
+	// keyed by cmcp.HistNames. They come from a separate hist-enabled
+	// run of the same config — counters are bit-identical either way —
+	// so the timed iterations above keep measuring the bare hot path.
+	Hists map[string]cmcp.HistogramSummary `json:"hists"`
 }
 
 // benchFile is the schema of BENCH_cmcp.json.
@@ -377,7 +456,7 @@ func runBench(iters int, emitJSON bool, out string, seed uint64) error {
 		iters = 1
 	}
 	kinds := []cmcp.PolicyKind{cmcp.FIFO, cmcp.LRU, cmcp.CMCP, cmcp.CLOCK, cmcp.LFU, cmcp.Random}
-	file := benchFile{Schema: "cmcp-bench/v1", UnixTime: time.Now().Unix(), GoVersion: runtime.Version()}
+	file := benchFile{Schema: "cmcp-bench/v2", UnixTime: time.Now().Unix(), GoVersion: runtime.Version()}
 	for _, kind := range kinds {
 		cfg := cmcp.Config{
 			Cores:       56,
@@ -403,6 +482,16 @@ func runBench(iters int, emitJSON bool, out string, seed uint64) error {
 		for c, name := range stats.CounterNames() {
 			counters[name] = last.Run.Total(stats.Counter(c))
 		}
+		histCfg := cfg
+		histCfg.Hist = true
+		hres, err := cmcp.Simulate(histCfg)
+		if err != nil {
+			return err
+		}
+		hists := make(map[string]cmcp.HistogramSummary, len(cmcp.HistNames()))
+		for i, name := range cmcp.HistNames() {
+			hists[name] = hres.Run.Hists.Get(cmcp.HistID(i)).Summarize()
+		}
 		r := benchResult{
 			Name:        "Simulate/" + kind.String(),
 			Iterations:  iters,
@@ -410,6 +499,7 @@ func runBench(iters int, emitJSON bool, out string, seed uint64) error {
 			TouchesPerS: float64(touches) / elapsed.Seconds(),
 			RuntimeCyc:  uint64(last.Runtime),
 			Counters:    counters,
+			Hists:       hists,
 		}
 		file.Runs = append(file.Runs, r)
 		fmt.Printf("%-18s %12d ns/op %14.0f touches/s\n", r.Name, r.NsPerOp, r.TouchesPerS)

@@ -72,12 +72,22 @@ func doReplay(w io.Writer, path string, buckets int) error {
 		return err
 	}
 	defer f.Close()
-	events, skipped, err := obs.ReadJSONLLenient(f)
+	events, meta, skipped, err := obs.ReadJSONLMeta(f)
 	if err != nil {
 		return err
 	}
 	if skipped > 0 {
 		fmt.Fprintf(w, "warning: skipped %d malformed line(s) in %s\n\n", skipped, path)
+	}
+	if meta != nil {
+		// The recorder's ring is bounded: a trace that overflowed it is
+		// a sample, not a record, and the timeline below under-counts.
+		if meta.Dropped > 0 {
+			fmt.Fprintf(w, "warning: recorder dropped %d event(s) (ring full); timeline is incomplete\n\n", meta.Dropped)
+		}
+		if got := len(events); meta.Events != got {
+			fmt.Fprintf(w, "warning: header promises %d events but %d were read; trace is truncated\n\n", meta.Events, got)
+		}
 	}
 	fmt.Fprint(w, obs.Timeline(events, buckets))
 	fmt.Fprint(w, coreSummary(events))

@@ -35,6 +35,7 @@ func record(kind cmcp.PolicyKind) (*cmcp.Result, []cmcp.TraceEvent, error) {
 		Policy:      cmcp.PolicySpec{Kind: kind, P: -1},
 		Seed:        7,
 		Probe:       rec,
+		Hist:        true, // latency distributions alongside the trace
 	})
 	if err != nil {
 		return nil, nil, err
@@ -104,7 +105,33 @@ func main() {
 		cmcpRes.Run.PerCoreAvg(cmcp.RemoteTLBInvalidations), lruRes.Run.PerCoreAvg(cmcp.RemoteTLBInvalidations))
 	fmt.Printf("%-22s %12.2f %12.2f\n", "runtime (Mcycles)",
 		float64(cmcpRes.Runtime)/1e6, float64(lruRes.Runtime)/1e6)
+
+	// The latency histograms show the same mechanism as a distribution.
+	// Quantiles are log2-bucket upper bounds (exact, deterministic).
+	cs := cmcpRes.Run.Hists.Get(cmcp.FaultServiceHist).Summarize()
+	ls := lruRes.Run.Hists.Get(cmcp.FaultServiceHist).Summarize()
+	cw := cmcpRes.Run.Hists.Get(cmcp.LockWaitHist).Summarize()
+	lw := lruRes.Run.Hists.Get(cmcp.LockWaitHist).Summarize()
+	fmt.Printf("\nlatency distributions (cycles, log2-bucket upper bounds):\n")
+	fmt.Printf("%-34s %12s %12s\n", "", "CMCP", "LRU")
+	fmt.Printf("%-34s %12d %12d\n", "fault service: count", cs.Count, ls.Count)
+	fmt.Printf("%-34s %12.0f %12.0f\n", "fault service: mean", cs.Mean, ls.Mean)
+	fmt.Printf("%-34s %12d %12d\n", "fault service: p99", cs.P99, ls.P99)
+	fmt.Printf("%-34s %12d %12d\n", "fault service: max", cs.Max, ls.Max)
+	fmt.Printf("%-34s %12d %12d\n", "lock wait: count", cw.Count, lw.Count)
+	fmt.Printf("%-34s %12.0f %12.0f\n", "lock wait: mean", cw.Mean, lw.Mean)
+	fmt.Printf("%-34s %12d %12d\n", "lock wait: p90", cw.P90, lw.P90)
+	fmt.Printf("%-34s %12d %12d\n", "lock wait: p99", cw.P99, lw.P99)
+	if cs.P99 > 0 && cw.P99 > 0 {
+		fmt.Printf("\np99 divergence (LRU/CMCP): fault service %.2fx, lock wait %.2fx\n",
+			float64(ls.P99)/float64(cs.P99), float64(lw.P99)/float64(cw.P99))
+		fmt.Printf("max fault-service divergence: %.2fx\n", float64(ls.Max)/float64(cs.Max))
+	}
+
 	fmt.Println("\nLRU may fault less, yet every scan bucket above costs it remote")
-	fmt.Println("invalidations CMCP never issues — the runtime gap's mechanism,")
-	fmt.Println("resolved in time rather than summed in Table 1.")
+	fmt.Println("invalidations CMCP never issues. A major fault's p99 is pinned")
+	fmt.Println("by the fixed PCIe copy (both policies land in the same bucket);")
+	fmt.Println("the contention LRU adds shows up where it happens — the lock-wait")
+	fmt.Println("tail stretches by an order of magnitude, and the worst fault")
+	fmt.Println("(max above) waits behind it.")
 }

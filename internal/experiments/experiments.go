@@ -61,6 +61,13 @@ type Options struct {
 	// Progress, when non-nil, observes sweep planning and completion
 	// (runs done/total, runs/s, ETA).
 	Progress *obs.Progress
+	// Hist attaches latency/fan-out histograms to every generated run
+	// config (machine.Config.Hist). Read-only instrumentation: counters
+	// and runtimes are bit-identical either way.
+	Hist bool
+	// OnResult, when non-nil, receives each executed completed run; see
+	// sweep.Options.OnResult (called concurrently from workers).
+	OnResult func(*machine.Result)
 }
 
 func (o Options) scale() float64 {
@@ -192,6 +199,11 @@ func (r *Report) CSV() string {
 // back as inert placeholders so every renderer stays total; a sharded
 // caller reads the journal, not the report.
 func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
+	if o.Hist {
+		for i := range cfgs {
+			cfgs[i].Hist = true
+		}
+	}
 	out, err := sweep.Run(cfgs, sweep.Options{
 		Journal:     o.Journal,
 		Imports:     o.Imports,
@@ -200,6 +212,7 @@ func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
 		Parallelism: o.Parallelism,
 		Repeats:     o.Repeats,
 		Progress:    o.Progress,
+		OnResult:    o.OnResult,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,141 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBucketing(t *testing.T) {
+	var h H
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 20, 21}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		h.Record(c.v)
+	}
+	for _, c := range cases {
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("value %d: bucket %d empty", c.v, c.bucket)
+		}
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count, len(cases))
+	}
+	if h.Max != math.MaxUint64 {
+		t.Fatalf("Max = %d", h.Max)
+	}
+	if !h.CheckInvariant() {
+		t.Fatal("invariant broken after recording")
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	if UpperBound(0) != 0 || UpperBound(1) != 1 || UpperBound(2) != 3 || UpperBound(10) != 1023 {
+		t.Fatal("small bounds wrong")
+	}
+	if UpperBound(64) != math.MaxUint64 || UpperBound(99) != math.MaxUint64 {
+		t.Fatal("top bound wrong")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var h H
+	if h.P50() != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram quantiles must be 0")
+	}
+	// 99 values of 1, one value of 1000: p50 lands in bucket 1 (bound
+	// 1), p99 still in bucket 1 (rank 99 of 100), p999 reports the
+	// bucket holding 1000 (bit length 10 -> bound 1023).
+	for i := 0; i < 99; i++ {
+		h.Record(1)
+	}
+	h.Record(1000)
+	if got := h.P50(); got != 1 {
+		t.Errorf("P50 = %d, want 1", got)
+	}
+	if got := h.P99(); got != 1 {
+		t.Errorf("P99 = %d, want 1", got)
+	}
+	if got := h.P999(); got != 1023 {
+		t.Errorf("P999 = %d, want 1023", got)
+	}
+	if got := h.Mean(); math.Abs(got-10.99) > 1e-9 {
+		t.Errorf("Mean = %v, want 10.99", got)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Max != 1000 || s.P999 != 1023 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestMergeIsExact(t *testing.T) {
+	// Merging two independently recorded histograms must equal one
+	// histogram that saw both streams — the property the sweep layer's
+	// Repeats pooling relies on.
+	rng := rand.New(rand.NewSource(7))
+	var a, b, both H
+	for i := 0; i < 10_000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatal("merge is not exact")
+	}
+	if !a.CheckInvariant() {
+		t.Fatal("invariant broken after merge")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var h H
+	for _, v := range []uint64{0, 1, 5, 1 << 40, math.MaxUint64} {
+		h.Record(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back H
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip changed histogram:\n  got %+v\n want %+v", back, h)
+	}
+	// Values beyond 2^53 survive: Go marshals uint64 exactly.
+	if back.Max != math.MaxUint64 {
+		t.Fatalf("Max lost precision: %d", back.Max)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h H
+	h.Record(42)
+	h.Reset()
+	if h != (H{}) {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h H
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+	if h.Count == 0 {
+		b.Fatal("no records")
+	}
+}

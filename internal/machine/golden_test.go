@@ -136,3 +136,59 @@ func TestGoldenViaRunMany(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenHistBitIdentical re-runs every golden variant with
+// histograms attached: all counters, the runtime and the resident count
+// must stay bit-identical (histograms are read-only instrumentation,
+// like Probe/Audit), the histograms themselves must be populated and
+// deterministic across runs, and the fault-service count must equal the
+// measured phase's fault counters exactly.
+func TestGoldenHistBitIdentical(t *testing.T) {
+	for name, cfg := range goldenVariants() {
+		t.Run(name, func(t *testing.T) {
+			want := goldenRuns[name]
+			cfg.Hist = true
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runtime != want.Runtime {
+				t.Errorf("runtime = %d, want %d (histograms perturbed the run)", res.Runtime, want.Runtime)
+			}
+			if res.Resident != want.Resident {
+				t.Errorf("resident = %d, want %d", res.Resident, want.Resident)
+			}
+			for c := 0; c < stats.NumCounters; c++ {
+				if got := res.Run.Total(stats.Counter(c)); got != want.Counters[c] {
+					t.Errorf("%s = %d, want %d", stats.Counter(c).Name(), got, want.Counters[c])
+				}
+			}
+			hs := res.Run.Hists
+			if hs == nil {
+				t.Fatal("Hist: true produced no histograms")
+			}
+			// Fault-service samples = major + minor faults of the measured
+			// phase (the warm-up reset must have dropped warm-up faults).
+			faults := want.Counters[stats.PageFaults] + want.Counters[stats.MinorFaults]
+			if got := hs.Get(stats.FaultServiceHist).Count; got != faults {
+				t.Errorf("fault_service count = %d, want %d", got, faults)
+			}
+			if got := hs.Get(stats.EvictionHist).Count; got != want.Counters[stats.Evictions] {
+				t.Errorf("eviction count = %d, want %d", got, want.Counters[stats.Evictions])
+			}
+			for id := stats.HistID(0); id < stats.HistID(stats.NumHists); id++ {
+				if !hs.Get(id).CheckInvariant() {
+					t.Errorf("%s: invariant broken", id.Name())
+				}
+			}
+			// Determinism: a second run yields byte-identical histograms.
+			res2, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *res2.Run.Hists != *hs {
+				t.Error("histograms differ between identical runs")
+			}
+		})
+	}
+}

@@ -122,6 +122,18 @@ type Config struct {
 	// PSPTRebuildPeriod periodically drops all private PTEs so the
 	// sharing picture re-forms (paper §5.6; PSPT only; 0 = off).
 	PSPTRebuildPeriod sim.Cycles
+	// Hist attaches latency/fan-out histograms to the run (see
+	// internal/hist and stats.HistID): fault service time, eviction
+	// latency, shootdown ack RTT, lock waits and shootdown fan-out.
+	// Disabled, the hot paths pay one nil-check branch per site.
+	// Histograms never alter simulated state or costs, so a Hist run is
+	// bit-identical to a non-Hist run in every counter and finish time.
+	// Plain data (like Faults, unlike Probe/Audit): one Config is safe
+	// to reuse across concurrent RunMany runs, and sweeps may journal it.
+	// With warm-up enabled, histograms cover the measured phase only —
+	// distributions are reset at the warm-up barrier, because unlike
+	// counters a prefix distribution cannot be subtracted out.
+	Hist bool
 	// Probe attaches a flight recorder / sampler to the run (see
 	// internal/obs). nil disables tracing; the hot paths then pay one
 	// nil-check branch per instrumented site. A Recorder serves one
@@ -403,6 +415,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		Adaptive: cfg.AdaptivePageSize,
 		Pages:    layout.TotalPages,
 		Scratch:  sc,
+		Hist:     cfg.Hist,
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
 		Probe:             cfg.Probe,
@@ -426,6 +439,12 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		warm := run.CloneIn(sc)
 		for c := 0; c < cfg.Cores; c++ {
 			mgr.TakeDebt(sim.CoreID(c)) // drop warm-up interrupt debt
+		}
+		// Counters are rebased below by subtracting the warm-up snapshot;
+		// distributions cannot be, so the histograms restart here and
+		// cover exactly the measured phase.
+		if run.Hists != nil {
+			run.Hists.Reset()
 		}
 		if _, err = runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), t0); err != nil {
 			return nil, err

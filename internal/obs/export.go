@@ -30,10 +30,42 @@ type jsonlEvent struct {
 	Arg  int64  `json:"arg"`
 }
 
+// TraceSchema versions the JSONL trace metadata header.
+const TraceSchema = "cmcp-trace/v1"
+
+// TraceMeta is the optional metadata header line of a JSONL event
+// trace. Its load-bearing field is Dropped: the flight recorder's ring
+// is bounded, and a trace that silently lost events reads as a complete
+// record of a quieter run. Writers put the drop count in the file so
+// replay tools can warn; Events lets readers notice truncation of the
+// file itself. Pre-header traces remain readable (nil meta), and
+// pre-header readers skip the line: it parses as no known event type,
+// which the lenient reader drops by design.
+type TraceMeta struct {
+	Schema  string `json:"schema"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
 // WriteJSONL encodes events one JSON object per line.
 func WriteJSONL(w io.Writer, events []Event) error {
+	return writeJSONL(w, events, nil)
+}
+
+// WriteJSONLWithMeta encodes events like WriteJSONL, preceded by a
+// TraceMeta header line carrying the recorder's drop count.
+func WriteJSONLWithMeta(w io.Writer, events []Event, dropped uint64) error {
+	return writeJSONL(w, events, &TraceMeta{Schema: TraceSchema, Events: len(events), Dropped: dropped})
+}
+
+func writeJSONL(w io.Writer, events []Event, meta *TraceMeta) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if meta != nil {
+		if err := enc.Encode(meta); err != nil {
+			return err
+		}
+	}
 	for _, e := range events {
 		if err := enc.Encode(jsonlEvent{
 			Time: uint64(e.Time),
@@ -53,7 +85,7 @@ func WriteJSONL(w io.Writer, events []Event) error {
 // ReadJSONLLenient for traces of dubious provenance (truncated files,
 // concatenated logs).
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	events, _, err := readJSONL(r, true)
+	events, _, _, err := readJSONL(r, true)
 	return events, err
 }
 
@@ -62,11 +94,20 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 // reports how many lines were dropped. Only an I/O error (or a single
 // line exceeding the scanner limit) still fails the read.
 func ReadJSONLLenient(r io.Reader) (events []Event, skipped int, err error) {
+	events, _, skipped, err = readJSONL(r, false)
+	return events, skipped, err
+}
+
+// ReadJSONLMeta decodes a JSONL event stream leniently and also returns
+// the trace's metadata header when present (nil for pre-header traces).
+// Replay tools use it to warn when the recorder dropped events.
+func ReadJSONLMeta(r io.Reader) (events []Event, meta *TraceMeta, skipped int, err error) {
 	return readJSONL(r, false)
 }
 
-func readJSONL(r io.Reader, strict bool) ([]Event, int, error) {
+func readJSONL(r io.Reader, strict bool) ([]Event, *TraceMeta, int, error) {
 	var out []Event
+	var meta *TraceMeta
 	skipped := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -80,15 +121,23 @@ func readJSONL(r io.Reader, strict bool) ([]Event, int, error) {
 		var je jsonlEvent
 		if err := json.Unmarshal([]byte(text), &je); err != nil {
 			if strict {
-				return nil, 0, fmt.Errorf("obs: line %d: %w", line, err)
+				return nil, nil, 0, fmt.Errorf("obs: line %d: %w", line, err)
 			}
 			skipped++
 			continue
 		}
 		typ, ok := EventTypeByName(je.Type)
 		if !ok {
+			// Not an event line: the trace metadata header lands here
+			// (its object has no "ev" field), in both modes — a strict
+			// reader must still accept headered traces.
+			var m TraceMeta
+			if meta == nil && json.Unmarshal([]byte(text), &m) == nil && strings.HasPrefix(m.Schema, "cmcp-trace/") {
+				meta = &m
+				continue
+			}
 			if strict {
-				return nil, 0, fmt.Errorf("obs: line %d: unknown event type %q", line, je.Type)
+				return nil, nil, 0, fmt.Errorf("obs: line %d: unknown event type %q", line, je.Type)
 			}
 			skipped++
 			continue
@@ -102,9 +151,9 @@ func readJSONL(r io.Reader, strict bool) ([]Event, int, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return out, skipped, nil
+	return out, meta, skipped, nil
 }
 
 // chromeTS formats a cycle timestamp as trace_event microseconds with

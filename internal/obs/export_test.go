@@ -224,3 +224,85 @@ func TestTimeline(t *testing.T) {
 		t.Errorf("single-event timeline = %q", got)
 	}
 }
+
+func TestJSONLMetaRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLWithMeta(&buf, fixtureEvents(), 7); err != nil {
+		t.Fatal(err)
+	}
+
+	events, meta, skipped, err := ReadJSONLMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("meta header counted as skipped: %d", skipped)
+	}
+	if meta == nil {
+		t.Fatal("meta header not returned")
+	}
+	if meta.Schema != TraceSchema || meta.Events != len(fixtureEvents()) || meta.Dropped != 7 {
+		t.Errorf("meta = %+v", *meta)
+	}
+	if !reflect.DeepEqual(events, fixtureEvents()) {
+		t.Error("events did not round-trip past the header")
+	}
+
+	// The strict reader and the plain lenient reader must both accept a
+	// headered trace transparently.
+	strictEvents, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict reader rejects headered trace: %v", err)
+	}
+	if !reflect.DeepEqual(strictEvents, fixtureEvents()) {
+		t.Error("strict reader mangled headered trace")
+	}
+	lenEvents, skipped, err := ReadJSONLLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil || skipped != 0 || !reflect.DeepEqual(lenEvents, fixtureEvents()) {
+		t.Errorf("lenient reader on headered trace: skipped=%d err=%v", skipped, err)
+	}
+}
+
+func TestJSONLMetaAbsent(t *testing.T) {
+	// Pre-header traces (WriteJSONL) must read back with nil meta.
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureEvents()); err != nil {
+		t.Fatal(err)
+	}
+	events, meta, skipped, err := ReadJSONLMeta(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("skipped=%d err=%v", skipped, err)
+	}
+	if meta != nil {
+		t.Errorf("phantom meta %+v from header-less trace", *meta)
+	}
+	if !reflect.DeepEqual(events, fixtureEvents()) {
+		t.Error("events did not round-trip")
+	}
+}
+
+func TestJSONLMetaSecondHeaderSkipped(t *testing.T) {
+	// Concatenated logs carry a header per fragment; only the first is
+	// meta, the rest count as skipped lines like any unknown object.
+	var a, b bytes.Buffer
+	if err := WriteJSONLWithMeta(&a, fixtureEvents()[:2], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONLWithMeta(&b, fixtureEvents()[2:4], 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(b.Bytes())
+	events, meta, skipped, err := ReadJSONLMeta(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.Dropped != 1 {
+		t.Errorf("first header not kept: %+v", meta)
+	}
+	if skipped != 1 {
+		t.Errorf("second header: skipped = %d, want 1", skipped)
+	}
+	if len(events) != 4 {
+		t.Errorf("got %d events, want 4", len(events))
+	}
+}

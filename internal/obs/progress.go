@@ -75,10 +75,13 @@ type ProgressSnapshot struct {
 	// Elapsed is the wall time since the meter started.
 	Elapsed time.Duration
 	// RunsPerSec is the execution rate (journal loads excluded: they
-	// are effectively free and would corrupt the ETA).
+	// are effectively free and would corrupt the ETA). Pinned to zero
+	// until this process has executed at least one run — a rate
+	// extrapolated from zero completions is undefined, not infinite.
 	RunsPerSec float64
 	// ETA projects the remaining wall time for the runs this process
-	// still owns, at the current execution rate; zero when unknowable.
+	// still owns, at the current execution rate; zero when unknowable
+	// (in particular, always zero before the first executed run).
 	ETA time.Duration
 }
 

@@ -51,3 +51,62 @@ func TestProgressStringEmpty(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+// TestProgressZeroCompletions pins the rate/ETA contract before the
+// first executed run: a sweep that has only planned work (or only
+// loaded journal entries) has no execution rate to extrapolate, so
+// both stay zero and the status line omits them.
+func TestProgressZeroCompletions(t *testing.T) {
+	p := NewProgress()
+	p.AddTotal(50)
+	p.NoteLoaded(10) // journal loads are free: they must not start the rate
+	s := p.Snapshot()
+	if s.RunsPerSec != 0 {
+		t.Errorf("RunsPerSec = %v before any executed run, want 0", s.RunsPerSec)
+	}
+	if s.ETA != 0 {
+		t.Errorf("ETA = %v before any executed run, want 0", s.ETA)
+	}
+	str := s.String()
+	if strings.Contains(str, "runs/s") || strings.Contains(str, "ETA") {
+		t.Errorf("String() = %q renders a rate/ETA from zero completions", str)
+	}
+}
+
+// TestProgressHammer drives every mutator and both readers from many
+// goroutines at once; under -race (CI runs the whole suite with it)
+// this is the meter's data-race proof, and the final snapshot proves
+// no update was lost.
+func TestProgressHammer(t *testing.T) {
+	const workers, iters = 16, 250
+	p := NewProgress()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p.AddTotal(3)
+				p.NoteExecuted()
+				p.NoteLoaded(1)
+				p.NoteMissing(1)
+				snap := p.Snapshot()
+				if snap.Done() > snap.Total {
+					t.Errorf("torn snapshot: done %d > total %d", snap.Done(), snap.Total)
+					return
+				}
+				_ = snap.String()
+				_ = p.String()
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	n := workers * iters
+	if s.Total != 3*n || s.Executed != n || s.Loaded != n || s.Missing != n {
+		t.Fatalf("lost updates: %+v (want total=%d executed=loaded=missing=%d)", s, 3*n, n)
+	}
+	if s.RunsPerSec <= 0 {
+		t.Errorf("RunsPerSec = %v after %d executed runs", s.RunsPerSec, n)
+	}
+}

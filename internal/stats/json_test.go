@@ -71,3 +71,73 @@ func TestRunJSONShapeMismatch(t *testing.T) {
 		}
 	}
 }
+
+func TestRunJSONRoundTripWithHists(t *testing.T) {
+	r := NewRun(2)
+	r.Add(0, PageFaults, 3)
+	hs := r.EnableHists()
+	for id := HistID(0); id < HistID(NumHists); id++ {
+		hs.Record(id, uint64(id)*1000+1)
+		hs.Record(id, (1<<62)+uint64(id)) // past float64's mantissa
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hists == nil {
+		t.Fatal("histograms lost in round trip")
+	}
+	if *back.Hists != *r.Hists {
+		t.Fatalf("histograms changed in round trip:\n got %+v\nwant %+v", *back.Hists, *r.Hists)
+	}
+
+	// A histogram-less run must come back with nil Hists, not an empty set.
+	bare := NewRun(1)
+	data, err = json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bareBack Run
+	if err := json.Unmarshal(data, &bareBack); err != nil {
+		t.Fatal(err)
+	}
+	if bareBack.Hists != nil {
+		t.Fatal("bare run grew histograms in round trip")
+	}
+}
+
+func TestRunJSONHistTamperRejected(t *testing.T) {
+	r := NewRun(1)
+	r.EnableHists().Record(FaultServiceHist, 5)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tamper := range map[string]func(m map[string]any){
+		"wrong hist count": func(m map[string]any) {
+			m["hists"] = m["hists"].([]any)[:1]
+		},
+		"torn bucket counts": func(m map[string]any) {
+			h := m["hists"].([]any)[0].(map[string]any)
+			h["count"] = 99 // no bucket backs this
+		},
+	} {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		tamper(m)
+		bad, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Run
+		if err := json.Unmarshal(bad, &back); err == nil {
+			t.Errorf("%s: tampered record accepted", name)
+		}
+	}
+}

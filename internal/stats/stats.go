@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cmcp/internal/dense"
+	"cmcp/internal/hist"
 	"cmcp/internal/sim"
 )
 
@@ -119,12 +120,99 @@ func (c Counter) Name() string {
 	return fmt.Sprintf("counter(%d)", uint8(c))
 }
 
+// HistID identifies one per-run latency/fan-out histogram. Histograms
+// are whole-run (not per-core): their job is the distribution tail,
+// and per-core splits would shrink every sample set by the core count
+// for no analytical gain the counters don't already provide.
+type HistID uint8
+
+const (
+	// FaultServiceHist is end-to-end page-fault service time in cycles,
+	// fault entry to translation installed — minor and major faults,
+	// including lock waits, DMA queueing and fault-injection
+	// retries/backoff.
+	FaultServiceHist HistID = iota
+	// EvictionHist is the evictor-side latency of one eviction in
+	// cycles: unmap, shootdown delivery (resends included), local
+	// invalidations and write-back retry backoff.
+	EvictionHist
+	// ShootdownHist is the per-target shootdown round-trip in cycles:
+	// IPI delivery to one remote core plus any ack-timeout re-sends.
+	ShootdownHist
+	// LockWaitHist is the duration of one non-zero wait on a
+	// serialization point (allocator lock, DMA bus, page-table lock,
+	// injected stuck locks) in cycles.
+	LockWaitHist
+	// FanoutHist is the number of target cores of one TLB-shootdown
+	// broadcast (eviction, scanner clear, or PSPT rebuild).
+	FanoutHist
+
+	numHists
+)
+
+// NumHists is the number of distinct histograms.
+const NumHists = int(numHists)
+
+// histNames is the single string table for histogram names, the same
+// single-source-of-truth contract as counterNames: every renderer
+// (JSON, Prometheus exposition, bench output) derives its labels from
+// HistNames, and a test cross-checks the table for gaps/duplicates.
+var histNames = [numHists]string{
+	"fault_service_cycles",
+	"eviction_latency_cycles",
+	"shootdown_rtt_cycles",
+	"lock_wait_latency_cycles",
+	"shootdown_fanout_cores",
+}
+
+// HistNames returns the snake_case names of all histograms in index
+// order.
+func HistNames() []string {
+	out := make([]string, numHists)
+	copy(out, histNames[:])
+	return out
+}
+
+// Name returns the snake_case name of the histogram.
+func (h HistID) Name() string {
+	if int(h) < len(histNames) {
+		return histNames[h]
+	}
+	return fmt.Sprintf("hist(%d)", uint8(h))
+}
+
+// HistSet is the fixed array of a run's histograms, indexed by HistID.
+// One allocation covers all of them; recording is index + hist.Record.
+type HistSet [numHists]hist.H
+
+// Get returns the histogram for id.
+func (s *HistSet) Get(id HistID) *hist.H { return &s[id] }
+
+// Record adds one value to histogram id.
+func (s *HistSet) Record(id HistID, v uint64) { s[id].Record(v) }
+
+// Merge pools other into s, histogram by histogram (exact; see
+// hist.Merge).
+func (s *HistSet) Merge(other *HistSet) {
+	for i := range s {
+		s[i].Merge(&other[i])
+	}
+}
+
+// Reset empties every histogram in place (the engine calls this at the
+// warm-up barrier so the measured phase starts with clean
+// distributions, mirroring the counter rebase).
+func (s *HistSet) Reset() { *s = HistSet{} }
+
 // Run holds the complete measurement record of one simulation run:
 // per-core counters, per-core finishing times, and the run's metadata.
 type Run struct {
 	Cores    int
 	counters []uint64 // flat [core*NumCounters+counter]; scanner is row Cores
 	Finish   []sim.Cycles
+	// Hists holds the run's latency/fan-out histograms; nil unless the
+	// run was configured with histograms enabled (machine.Config.Hist).
+	Hists *HistSet
 }
 
 // NewRun allocates a record for n application cores plus the scanner
@@ -145,6 +233,15 @@ func NewRunIn(n int, sc *dense.Scratch) *Run {
 		counters: sc.U64((n + 1) * NumCounters),
 		Finish:   sc.Cycles(n + 1),
 	}
+}
+
+// EnableHists attaches an empty histogram set to the run (idempotent).
+// One allocation; recording into it never allocates.
+func (r *Run) EnableHists() *HistSet {
+	if r.Hists == nil {
+		r.Hists = &HistSet{}
+	}
+	return r.Hists
 }
 
 // Add increments counter c for core by delta.
@@ -188,11 +285,17 @@ func (r *Run) Runtime() sim.Cycles {
 	return m
 }
 
-// Merge adds other's counters and takes the elementwise max of finish
-// times. Both runs must have the same core count.
+// Merge adds other's counters, takes the elementwise max of finish
+// times, and pools histograms when present. Both runs must have the
+// same core count and the same histogram presence — merging a
+// histogram-bearing run into a bare one (or vice versa) would silently
+// drop or dilute distributions, so it is an error instead.
 func (r *Run) Merge(other *Run) error {
 	if other.Cores != r.Cores {
 		return fmt.Errorf("stats: merging runs with %d and %d cores", r.Cores, other.Cores)
+	}
+	if (r.Hists == nil) != (other.Hists == nil) {
+		return fmt.Errorf("stats: merging runs with mismatched histogram presence")
 	}
 	for i := range r.counters {
 		r.counters[i] += other.counters[i]
@@ -201,6 +304,9 @@ func (r *Run) Merge(other *Run) error {
 		if other.Finish[i] > r.Finish[i] {
 			r.Finish[i] = other.Finish[i]
 		}
+	}
+	if r.Hists != nil {
+		r.Hists.Merge(other.Hists)
 	}
 	return nil
 }
@@ -215,12 +321,20 @@ func (r *Run) CloneIn(sc *dense.Scratch) *Run {
 	c := NewRunIn(r.Cores, sc)
 	copy(c.counters, r.counters)
 	copy(c.Finish, r.Finish)
+	if r.Hists != nil {
+		// Histograms are small and plain-heap (never scratch-backed):
+		// the sweep's replicate merge keeps clones after sc recycles.
+		h := *r.Hists
+		c.Hists = &h
+	}
 	return c
 }
 
 // Subtract removes a baseline snapshot from the counters (Finish times
-// are left untouched; the engine rebases those itself). Used to report
-// only the measured phase after a warm-up.
+// are left untouched; the engine rebases those itself, and histograms
+// are reset at the warm-up barrier rather than subtracted — bucket
+// counts of a prefix cannot be subtracted from a distribution). Used
+// to report only the measured phase after a warm-up.
 func (r *Run) Subtract(base *Run) error {
 	if base.Cores != r.Cores {
 		return fmt.Errorf("stats: subtracting run with %d cores from %d", base.Cores, r.Cores)
@@ -232,7 +346,11 @@ func (r *Run) Subtract(base *Run) error {
 }
 
 // DivideBy divides every counter and finish time by n (used to average
-// replicated runs).
+// replicated runs). Histograms are deliberately left pooled: bucket
+// counts merge exactly, so the merged histogram IS the distribution of
+// all n replicates — its quantiles are the replicate-pooled quantiles —
+// whereas dividing integer bucket counts would discard the tail
+// samples averaging exists to expose.
 func (r *Run) DivideBy(n uint64) {
 	if n <= 1 {
 		return
@@ -255,17 +373,27 @@ type runJSON struct {
 	Cores    int          `json:"cores"`
 	Counters []uint64     `json:"counters"`
 	Finish   []sim.Cycles `json:"finish"`
+	// Hists serializes the histogram set as a slice (absent when the
+	// run recorded none). A slice rather than the fixed array so the
+	// reader can length-check instead of letting encoding/json silently
+	// truncate or zero-fill a mismatched record.
+	Hists []hist.H `json:"hists,omitempty"`
 }
 
-// MarshalJSON encodes the run losslessly: counters and finish times are
-// exact uint64s in Go's round trip, so a journaled run merges
-// bit-identically to the in-memory one it snapshots.
+// MarshalJSON encodes the run losslessly: counters, finish times and
+// histogram buckets are exact uint64s in Go's round trip, so a
+// journaled run merges bit-identically to the in-memory one it
+// snapshots.
 func (r *Run) MarshalJSON() ([]byte, error) {
-	return json.Marshal(runJSON{Cores: r.Cores, Counters: r.counters, Finish: r.Finish})
+	j := runJSON{Cores: r.Cores, Counters: r.counters, Finish: r.Finish}
+	if r.Hists != nil {
+		j.Hists = r.Hists[:]
+	}
+	return json.Marshal(j)
 }
 
 // UnmarshalJSON decodes a run written by MarshalJSON, rejecting records
-// whose shape does not match the current counter set.
+// whose shape does not match the current counter and histogram sets.
 func (r *Run) UnmarshalJSON(data []byte) error {
 	var j runJSON
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -275,7 +403,20 @@ func (r *Run) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("stats: run record shape mismatch: %d cores, %d counters, %d finish times",
 			j.Cores, len(j.Counters), len(j.Finish))
 	}
-	r.Cores, r.counters, r.Finish = j.Cores, j.Counters, j.Finish
+	var hs *HistSet
+	if len(j.Hists) > 0 {
+		if len(j.Hists) != NumHists {
+			return fmt.Errorf("stats: run record carries %d histograms, this build has %d", len(j.Hists), NumHists)
+		}
+		hs = &HistSet{}
+		for i := range j.Hists {
+			if !j.Hists[i].CheckInvariant() {
+				return fmt.Errorf("stats: histogram %q count does not match its buckets (torn record?)", HistID(i).Name())
+			}
+			hs[i] = j.Hists[i]
+		}
+	}
+	r.Cores, r.counters, r.Finish, r.Hists = j.Cores, j.Counters, j.Finish, hs
 	return nil
 }
 

@@ -171,3 +171,85 @@ func TestCounterNamesComplete(t *testing.T) {
 		t.Error("CounterNames must return a copy")
 	}
 }
+
+// TestHistNamesComplete mirrors TestCounterNamesComplete for the
+// histogram string table: distinct, non-empty snake_case names, and no
+// collision with any counter name — the Prometheus exposition derives
+// metric families from both tables, so a cross-table duplicate would
+// emit one family twice.
+func TestHistNamesComplete(t *testing.T) {
+	names := HistNames()
+	if len(names) != NumHists {
+		t.Fatalf("HistNames() has %d entries, want %d", len(names), NumHists)
+	}
+	seen := map[string]bool{}
+	for _, n := range CounterNames() {
+		seen[n] = true
+	}
+	for i, name := range names {
+		if name == "" {
+			t.Errorf("histogram %d has no name", i)
+		}
+		if seen[name] {
+			t.Errorf("histogram name %q duplicates a counter or histogram name", name)
+		}
+		seen[name] = true
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " -") {
+			t.Errorf("histogram name %q is not snake_case", name)
+		}
+		if got := HistID(i).Name(); got != name {
+			t.Errorf("HistID(%d).Name() = %q, want %q", i, got, name)
+		}
+	}
+	names[0] = "tampered"
+	if HistID(0).Name() == "tampered" {
+		t.Error("HistNames must return a copy")
+	}
+}
+
+func TestRunMergeHistPresence(t *testing.T) {
+	a, b := NewRun(2), NewRun(2)
+	a.EnableHists().Record(FaultServiceHist, 100)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging hist-bearing into bare run must fail")
+	}
+	if err := b.Merge(a); err == nil {
+		t.Fatal("merging bare into hist-bearing run must fail")
+	}
+	b.EnableHists().Record(FaultServiceHist, 200)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	h := a.Hists.Get(FaultServiceHist)
+	if h.Count != 2 || h.Sum != 300 || h.Max != 200 {
+		t.Errorf("merged hist = %+v", *h)
+	}
+}
+
+// TestRunDivideByPoolsHists pins the Repeats-averaging contract:
+// counters divide, histograms stay pooled (exact merged distribution).
+func TestRunDivideByPoolsHists(t *testing.T) {
+	r := NewRun(1)
+	r.Add(0, PageFaults, 10)
+	hs := r.EnableHists()
+	hs.Record(FaultServiceHist, 7)
+	hs.Record(FaultServiceHist, 9)
+	r.DivideBy(2)
+	if r.Get(0, PageFaults) != 5 {
+		t.Errorf("counter not divided: %d", r.Get(0, PageFaults))
+	}
+	h := r.Hists.Get(FaultServiceHist)
+	if h.Count != 2 || h.Sum != 16 {
+		t.Errorf("histogram must stay pooled after DivideBy: %+v", *h)
+	}
+}
+
+func TestCloneInDeepCopiesHists(t *testing.T) {
+	r := NewRun(1)
+	r.EnableHists().Record(EvictionHist, 42)
+	c := r.Clone()
+	c.Hists.Record(EvictionHist, 43)
+	if got := r.Hists.Get(EvictionHist).Count; got != 1 {
+		t.Errorf("clone aliased the original's histograms (count %d)", got)
+	}
+}

@@ -15,14 +15,18 @@ import (
 )
 
 // Schema identifies the journal file format. A journal opens with one
-// header line carrying the schema and the counter-name table in force
-// when it was written; every later line is one completed run.
-const Schema = "cmcp-sweep/v1"
+// header line carrying the schema and the counter- and histogram-name
+// tables in force when it was written; every later line is one
+// completed run. v2 added the histogram table (and histogram payloads
+// inside Run records); v1 journals are rejected — their runs predate
+// histograms and the keys that select them.
+const Schema = "cmcp-sweep/v2"
 
 // header is the journal's first line.
 type header struct {
 	Schema   string   `json:"schema"`
 	Counters []string `json:"counters"`
+	Hists    []string `json:"hists"`
 }
 
 // Entry is one journaled completed run: the run's content key, enough
@@ -106,6 +110,9 @@ func ReadJournalLenient(r io.Reader) (entries []Entry, skipped int, err error) {
 	if want := stats.CounterNames(); !equalStrings(h.Counters, want) {
 		return nil, 0, fmt.Errorf("sweep: journal counter set %v does not match this build's %v; re-run the sweep with a fresh journal", h.Counters, want)
 	}
+	if want := stats.HistNames(); !equalStrings(h.Hists, want) {
+		return nil, 0, fmt.Errorf("sweep: journal histogram set %v does not match this build's %v; re-run the sweep with a fresh journal", h.Hists, want)
+	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -167,7 +174,7 @@ func openJournal(path string) (*journalWriter, error) {
 	}
 	jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
 	if st.Size() == 0 {
-		data, err := json.Marshal(header{Schema: Schema, Counters: stats.CounterNames()})
+		data, err := json.Marshal(header{Schema: Schema, Counters: stats.CounterNames(), Hists: stats.HistNames()})
 		if err != nil {
 			f.Close()
 			return nil, err

@@ -89,6 +89,11 @@ func Key(cfg machine.Config) (string, error) {
 	w.u64(uint64(cfg.TickInterval))
 	w.b(cfg.NoWarmup)
 	w.u64(uint64(cfg.PSPTRebuildPeriod))
+	// Hist never changes counters or finish times, but it does change
+	// the journaled Run payload (histograms present or absent), so a
+	// Hist sweep must not be satisfied by a histogram-less journal entry
+	// — it keys separately.
+	w.b(cfg.Hist)
 
 	if cfg.Faults != nil {
 		w.b(true)

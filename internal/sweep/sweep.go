@@ -62,6 +62,13 @@ type Options struct {
 	// Progress, when non-nil, is advanced as the sweep plans and
 	// completes runs; see obs.Progress.
 	Progress *obs.Progress
+	// OnResult, when non-nil, receives every successfully executed run
+	// the moment it completes (journal-loaded runs are not replayed
+	// through it). It is called from RunMany worker goroutines,
+	// concurrently — the callback must be safe for concurrent use and
+	// must not retain or mutate the Result. The telemetry server's
+	// live-snapshot feed hangs off this hook.
+	OnResult func(*machine.Result)
 }
 
 // Outcome is one sweep's merged result set plus its provenance.
@@ -184,7 +191,13 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 		if opt.Progress != nil {
 			opt.Progress.NoteExecuted()
 		}
-		if err != nil || jw == nil {
+		if err != nil {
+			return
+		}
+		if opt.OnResult != nil {
+			opt.OnResult(res)
+		}
+		if jw == nil {
 			return
 		}
 		if aerr := jw.append(entryOf(runKeys[i], runCfgs[i], res)); aerr != nil {

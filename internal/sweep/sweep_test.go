@@ -1,16 +1,19 @@
 package sweep
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"cmcp/internal/fault"
 	"cmcp/internal/machine"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
+	"cmcp/internal/stats"
 	"cmcp/internal/vm"
 	"cmcp/internal/workload"
 )
@@ -73,6 +76,7 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 		"cost":      func(c *machine.Config) { c.Cost.FaultEntry += 10 },
 		"verify":    func(c *machine.Config) { c.Verify = true },
 		"nowarmup":  func(c *machine.Config) { c.NoWarmup = true },
+		"hist":      func(c *machine.Config) { c.Hist = true },
 		"tick":      func(c *machine.Config) { c.TickInterval = 12345 },
 		"faults":    func(c *machine.Config) { c.Faults = &fault9 },
 		"faultseed": func(c *machine.Config) { f := fault9; f.Seed++; c.Faults = &f },
@@ -280,7 +284,9 @@ func TestJournalRejectsForeignHeader(t *testing.T) {
 	for name, contents := range map[string]string{
 		"noheader.jsonl":    `{"key":"abc","cores":1}` + "\n",
 		"badschema.jsonl":   `{"schema":"cmcp-sweep/v0","counters":[]}` + "\n",
-		"badcounters.jsonl": `{"schema":"cmcp-sweep/v1","counters":["bogus"]}` + "\n",
+		"oldschema.jsonl":   `{"schema":"cmcp-sweep/v1","counters":[]}` + "\n",
+		"badcounters.jsonl": `{"schema":"cmcp-sweep/v2","counters":["bogus"]}` + "\n",
+		"badhists.jsonl":    validCountersBadHistsHeader() + "\n",
 	} {
 		path := filepath.Join(dir, name)
 		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
@@ -290,5 +296,147 @@ func TestJournalRejectsForeignHeader(t *testing.T) {
 		if _, err := Run([]machine.Config{testCfg(1)}, o); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// validCountersBadHistsHeader builds a v2 header whose counter table is
+// current but whose histogram table is foreign.
+func validCountersBadHistsHeader() string {
+	h := map[string]any{
+		"schema":   Schema,
+		"counters": stats.CounterNames(),
+		"hists":    []string{"bogus_hist"},
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}
+
+// TestHistResumeBitIdentical is the histogram variant of the resume
+// guarantee: a histogram-bearing sweep interrupted and resumed from its
+// journal must reproduce the uninterrupted sweep's results — histogram
+// buckets included — bit for bit, and the Repeats merge must pool the
+// replicates' distributions exactly.
+func TestHistResumeBitIdentical(t *testing.T) {
+	cfgs := grid()
+	for i := range cfgs {
+		cfgs[i].Hist = true
+	}
+	opts := func() Options { return Options{Parallelism: 2, Repeats: 2} }
+
+	ref, err := Run(cfgs, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ref.Results {
+		if r.Run.Hists == nil {
+			t.Fatalf("result %d has no histograms", i)
+		}
+		for id := stats.HistID(0); id < stats.HistID(stats.NumHists); id++ {
+			if !r.Run.Hists.Get(id).CheckInvariant() {
+				t.Fatalf("result %d: %s invariant broken after merge", i, id.Name())
+			}
+		}
+	}
+
+	// Interrupt after one grid point, then resume over the full grid.
+	j := filepath.Join(t.TempDir(), "hist.jsonl")
+	o := opts()
+	o.Journal = j
+	if _, err := Run(cfgs[:1], o); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Results, ref.Results) {
+		t.Fatal("resumed hist sweep differs from uninterrupted sweep")
+	}
+
+	// Journal-only pass: everything loads, nothing executes, still equal.
+	again, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 {
+		t.Errorf("full resume executed %d runs, want 0", again.Executed)
+	}
+	if !reflect.DeepEqual(again.Results, ref.Results) {
+		t.Fatal("journal-only hist sweep differs from uninterrupted sweep")
+	}
+
+	// Repeats pooling: the merged distribution is the exact sum of the
+	// replicates' — replicate runs under seeds 1 and 2 for cfgs[0].
+	var want stats.HistSet
+	for r := 0; r < 2; r++ {
+		c := cfgs[0]
+		c.Seed = cfgs[0].Seed + uint64(r)
+		res, err := Run([]machine.Config{c}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Merge(res.Results[0].Run.Hists)
+	}
+	if *ref.Results[0].Run.Hists != want {
+		t.Fatal("Repeats merge did not pool histograms exactly")
+	}
+}
+
+// TestHistKeysDisjointFromBare pins that a histogram-less journal can
+// never satisfy a Hist sweep (and vice versa): the same grid with and
+// without Hist shares no content keys.
+func TestHistKeysDisjointFromBare(t *testing.T) {
+	c := testCfg(1)
+	bare, err := Key(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Hist = true
+	hist, err := Key(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare == hist {
+		t.Fatal("Hist flag does not perturb the content key")
+	}
+}
+
+// TestOnResultHook pins the live-result hook's contract: every executed
+// run is delivered exactly once, and journal-loaded runs are not
+// replayed through it.
+func TestOnResultHook(t *testing.T) {
+	cfgs := grid()
+	j := filepath.Join(t.TempDir(), "hook.jsonl")
+	var mu sync.Mutex
+	var got int
+	o := Options{
+		Journal: j,
+		OnResult: func(res *machine.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if res == nil || res.Run == nil {
+				t.Error("OnResult delivered a nil result")
+			}
+			got++
+		},
+	}
+	out, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != out.Executed {
+		t.Errorf("OnResult fired %d times, want %d", got, out.Executed)
+	}
+	// Resume from the journal: nothing executes, the hook stays silent.
+	got = 0
+	again, err := Run(cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || got != 0 {
+		t.Errorf("journal-only sweep fired OnResult %d times (executed %d)", got, again.Executed)
 	}
 }

@@ -53,6 +53,12 @@ type Config struct {
 	// fault, eviction and scan paths. Disabled tracing costs one
 	// nil-check branch per instrumented site.
 	Probe *obs.Recorder
+	// Hist enables latency/fan-out histograms on the run (fault service
+	// time, eviction latency, shootdown RTT, lock waits, shootdown
+	// fan-out). Like Probe, the disabled path costs one nil-check branch
+	// per site; unlike Probe, Hist is plain data, so histogram-bearing
+	// configs remain sweepable and journalable.
+	Hist bool
 	// Faults, when non-nil, injects deterministic device faults into the
 	// transfer, shootdown and locking paths; the manager's recovery
 	// machinery (transactional page-in, frame quarantine, ack re-send,
@@ -102,6 +108,7 @@ type Manager struct {
 	adapter  *sizeAdapter
 	rec      *obs.Recorder   // nil = tracing disabled
 	inj      *fault.Injector // nil = fault injection disabled
+	hs       *stats.HistSet  // nil = histograms disabled
 
 	degraded map[sim.PageID]struct{} // pages on regular-table semantics after skew repair
 	allCores []sim.CoreID            // lazily built broadcast target list (degraded pages)
@@ -135,6 +142,9 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		debt:    sc.Cycles(cfg.Cores),
 		rec:     cfg.Probe,
 		inj:     cfg.Faults,
+	}
+	if cfg.Hist {
+		m.hs = m.run.EnableHists()
 	}
 	if cfg.PSPTRebuildPeriod != 0 {
 		m.rebuildCount = sc.U64(cfg.Cores)
@@ -301,6 +311,9 @@ func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
 	if m.rec != nil && cores > 0 {
 		m.rec.Emit(now, m.scanner, obs.EvShootdown, 0, int64(cores))
 	}
+	if m.hs != nil && cores > 0 {
+		m.hs.Record(stats.FanoutHist, uint64(cores))
+	}
 }
 
 // CoreMapCount implements policy.Host. Degraded pages answer -1 — the
@@ -356,6 +369,9 @@ func (m *Manager) ScanAccessed(base sim.PageID) bool {
 		m.scanCost += m.cost.IPISend + sim.Cycles(remote)*m.cost.ScanIPIPerTarget
 		if m.rec != nil {
 			m.rec.EmitNow(m.scanner, obs.EvShootdown, base, int64(remote))
+		}
+		if m.hs != nil {
+			m.hs.Record(stats.FanoutHist, uint64(remote))
 		}
 	}
 	return accessed
@@ -441,8 +457,23 @@ func (m *Manager) frameOf(core sim.CoreID, vpn sim.PageID) (sim.FrameID, bool) {
 }
 
 // fault handles a translation fault by core for vpn starting at virtual
-// time t and returns the completion time.
+// time t and returns the completion time. When histograms are enabled it
+// records the end-to-end service time — fault entry through the last
+// lock release, including injected-fault retries and backoff — so the
+// distribution captures exactly what the faulting core experienced.
 func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycles, error) {
+	if m.hs == nil {
+		return m.faultService(core, vpn, t)
+	}
+	end, err := m.faultService(core, vpn, t)
+	if err == nil {
+		m.hs.Record(stats.FaultServiceHist, uint64(end-t))
+	}
+	return end, err
+}
+
+// faultService is the fault path proper; see fault.
+func (m *Manager) faultService(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycles, error) {
 	t += m.cost.FaultEntry
 	if m.rec != nil {
 		m.rec.Advance(t)
@@ -514,6 +545,9 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycl
 	if m.rec != nil && waited > 0 {
 		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
 	}
+	if m.hs != nil && waited > 0 {
+		m.hs.Record(stats.LockWaitHist, uint64(waited))
+	}
 	t = done
 	work, wire, err := m.service(core, vpn, base, size, span)
 	if err != nil {
@@ -525,6 +559,9 @@ func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycl
 		m.run.Add(core, stats.LockWaitCycles, uint64(busWaited))
 		if m.rec != nil && busWaited > 0 {
 			m.rec.Emit(busDone, core, obs.EvLockWait, base, int64(busWaited))
+		}
+		if m.hs != nil && busWaited > 0 {
+			m.hs.Record(stats.LockWaitHist, uint64(busWaited))
 		}
 		t = busDone + m.dmaLatencyFor(wire)
 	}
@@ -545,12 +582,18 @@ func (m *Manager) acquirePageLock(core sim.CoreID, base sim.PageID, t sim.Cycles
 		if m.rec != nil {
 			m.rec.Emit(t+stall, core, obs.EvLockStuck, base, int64(stall))
 		}
+		if m.hs != nil {
+			m.hs.Record(stats.LockWaitHist, uint64(stall))
+		}
 		t += stall
 	}
 	done, waited := m.as.LockFor(base).Acquire(t, m.cost.LockBase)
 	m.run.Add(core, stats.LockWaitCycles, uint64(waited))
 	if m.rec != nil && waited > 0 {
 		m.rec.Emit(done, core, obs.EvLockWait, base, int64(waited))
+	}
+	if m.hs != nil && waited > 0 {
+		m.hs.Record(stats.LockWaitHist, uint64(waited))
 	}
 	return done
 }
@@ -757,8 +800,10 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 		m.debt[tc] += m.cost.IPIInterrupt
 		m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
 		// Delivery rides the bidirectional ring: distant targets cost
-		// the initiating core more.
-		work += m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
+		// the initiating core more. rtt accumulates this target's full
+		// ack round trip — delivery plus any timeout+re-send cycles —
+		// which is what the shootdown-RTT histogram records.
+		rtt := m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
 		if m.inj != nil {
 			// Dropped acknowledgement: the initiator waits out the ack
 			// timeout and re-sends the IPI (the loss is modelled before
@@ -768,7 +813,7 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 			resent := 0
 			for resent < m.inj.MaxRetries() && m.inj.Trip(fault.DropAck) {
 				resent++
-				work += m.cost.AckTimeout + m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
+				rtt += m.cost.AckTimeout + m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
 			}
 			if resent > 0 {
 				m.run.Add(core, stats.FaultsInjected, uint64(resent))
@@ -779,11 +824,18 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 				}
 			}
 		}
+		work += rtt
+		if m.hs != nil {
+			m.hs.Record(stats.ShootdownHist, uint64(rtt))
+		}
 		remote++
 	}
 	if remote > 0 {
 		m.run.Add(core, stats.IPIsSent, uint64(remote))
 		work += m.cost.IPISend
+		if m.hs != nil {
+			m.hs.Record(stats.FanoutHist, uint64(remote))
+		}
 	}
 	if m.rec != nil {
 		m.rec.EmitNow(core, obs.EvEviction, base, int64(remote))
@@ -835,6 +887,13 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 				bytes += size.Bytes()
 			}
 		}
+	}
+	// Eviction latency: the evictor-side CPU work for this victim —
+	// unmap, shootdown round trips, write-back retries and backoff. The
+	// wire time is excluded (it is serialized on the DMA bus by the
+	// caller, shared with the page-in).
+	if m.hs != nil {
+		m.hs.Record(stats.EvictionHist, uint64(work))
 	}
 	return work, bytes, nil
 }
