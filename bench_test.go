@@ -53,6 +53,12 @@ func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 // benchSimulate measures raw simulation throughput for one policy:
 // simulated page touches per second of wall time.
 func benchSimulate(b *testing.B, pol cmcp.PolicySpec, tables cmcp.TableKind) {
+	benchSimulateEngine(b, pol, tables, cmcp.SerialEngine)
+}
+
+// benchSimulateEngine is benchSimulate with an explicit engine, the
+// shared body of the serial/parallel benchmark pairs below.
+func benchSimulateEngine(b *testing.B, pol cmcp.PolicySpec, tables cmcp.TableKind, eng cmcp.EngineKind) {
 	b.Helper()
 	cfg := cmcp.Config{
 		Cores:       56,
@@ -61,6 +67,7 @@ func benchSimulate(b *testing.B, pol cmcp.PolicySpec, tables cmcp.TableKind) {
 		Tables:      tables,
 		Policy:      pol,
 		Seed:        1,
+		Engine:      eng,
 	}
 	b.ResetTimer()
 	var touches uint64
@@ -95,6 +102,19 @@ func BenchmarkSimulateCMCP(b *testing.B) {
 // shootdowns (regular shared page tables).
 func BenchmarkSimulateRegularPT(b *testing.B) {
 	benchSimulate(b, cmcp.PolicySpec{Kind: cmcp.FIFO}, cmcp.RegularPT)
+}
+
+// BenchmarkSimulateFIFOParallel is BenchmarkSimulateFIFO on the
+// epoch-parallel engine: compare the pair to read the speedup (the
+// Results are bit-identical; only wall time may differ).
+func BenchmarkSimulateFIFOParallel(b *testing.B) {
+	benchSimulateEngine(b, cmcp.PolicySpec{Kind: cmcp.FIFO}, cmcp.PSPT, cmcp.ParallelEngine)
+}
+
+// BenchmarkSimulateCMCPParallel is BenchmarkSimulateCMCP on the
+// epoch-parallel engine.
+func BenchmarkSimulateCMCPParallel(b *testing.B) {
+	benchSimulateEngine(b, cmcp.PolicySpec{Kind: cmcp.CMCP, P: 0.875}, cmcp.PSPT, cmcp.ParallelEngine)
 }
 
 // benchTraceCfg is the shared configuration of the tracing-overhead

@@ -91,6 +91,22 @@ func (a *Auditor) Note(m *vm.Manager) {
 	}
 }
 
+// NoteN counts n engine events at once — the parallel engine retires
+// provably independent touches in batches — and audits m when the
+// period elapses. At most one audit runs per call: the batch commits
+// atomically between operations, so no intermediate state exists for
+// extra audit points to observe. Audits stay read-only here; the
+// parallel engine falls back to serial for the one configuration where
+// audit timing can alter simulated state (MapSkew injection under
+// PSPT, whose repairs run from the audit itself).
+func (a *Auditor) NoteN(m *vm.Manager, n int) {
+	a.events += n
+	if a.events >= a.every {
+		a.events %= a.every
+		a.Audit(m)
+	}
+}
+
 // Audits returns the number of full audits performed.
 func (a *Auditor) Audits() int { return a.audits }
 

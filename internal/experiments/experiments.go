@@ -61,6 +61,10 @@ type Options struct {
 	// Progress, when non-nil, observes sweep planning and completion
 	// (runs done/total, runs/s, ETA).
 	Progress *obs.Progress
+	// Engine selects the simulation engine for every generated run
+	// (machine.Config.Engine). Results are bit-identical across
+	// engines; parallel is faster on multi-core hosts.
+	Engine machine.EngineKind
 	// Hist attaches latency/fan-out histograms to every generated run
 	// config (machine.Config.Hist). Read-only instrumentation: counters
 	// and runtimes are bit-identical either way.
@@ -199,9 +203,10 @@ func (r *Report) CSV() string {
 // back as inert placeholders so every renderer stays total; a sharded
 // caller reads the journal, not the report.
 func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
-	if o.Hist {
+	if o.Hist || o.Engine != machine.SerialEngine {
 		for i := range cfgs {
-			cfgs[i].Hist = true
+			cfgs[i].Hist = cfgs[i].Hist || o.Hist
+			cfgs[i].Engine = o.Engine
 		}
 	}
 	out, err := sweep.Run(cfgs, sweep.Options{

@@ -156,6 +156,14 @@ type Config struct {
 	// plain data — each run builds its own Injector — so one Config is
 	// safe to reuse across concurrent RunMany runs.
 	Faults *fault.Config
+	// Engine selects the event-loop implementation: the serial reference
+	// engine (zero value) or the epoch-parallel engine, which produces
+	// bit-identical Results — counters, histograms, traces, audit state —
+	// at a multiple of the serial throughput (see DESIGN.md §13). A few
+	// configurations are inherently serial (time-series sampling, and
+	// MapSkew injection with an auditor under PSPT); those fall back to
+	// the serial engine silently, identity preserved by construction.
+	Engine EngineKind
 }
 
 // Result is one run's outcome.
@@ -426,13 +434,14 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 	}
 
 	run := mgr.Run()
-	events := eventQueue{ev: make([]eventKey, 0, cfg.Cores+1)}
+	engine := newPhaseRunner(mgr, cfg)
+	defer engine.close()
 	var t0 sim.Cycles
 	if !cfg.NoWarmup {
 		// Warm-up: every core touches its population once, bringing the
 		// resident set and TLBs to steady state, then all cores
 		// synchronize at a barrier and the counters are rebased.
-		t0, err = runPhase(mgr, cfg, &events, layout.WarmupStreams(), 0)
+		t0, err = engine.run(layout.WarmupStreams(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +455,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		if run.Hists != nil {
 			run.Hists.Reset()
 		}
-		if _, err = runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), t0); err != nil {
+		if _, err = engine.run(layout.Streams(cfg.Seed), t0); err != nil {
 			return nil, err
 		}
 		if err := run.Subtract(warm); err != nil {
@@ -460,7 +469,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 			}
 		}
 	} else {
-		if _, err = runPhase(mgr, cfg, &events, layout.Streams(cfg.Seed), 0); err != nil {
+		if _, err = engine.run(layout.Streams(cfg.Seed), 0); err != nil {
 			return nil, err
 		}
 	}

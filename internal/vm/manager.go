@@ -105,6 +105,7 @@ type Manager struct {
 	writeSeq uint64
 	verify   map[sim.PageID]mem.Signature
 	faultObs FaultObserver
+	invalObs func(core sim.CoreID, base sim.PageID) // fires before each TLB invalidation
 	adapter  *sizeAdapter
 	rec      *obs.Recorder   // nil = tracing disabled
 	inj      *fault.Injector // nil = fault injection disabled
@@ -293,6 +294,9 @@ func (m *Manager) maybeRebuildPSPT(now sim.Cycles) {
 	a.PSPT().Rebuild(func(base sim.PageID, targets []sim.CoreID) {
 		m.scanCost += m.cost.ScanPTE
 		for _, tc := range targets {
+			if m.invalObs != nil {
+				m.invalObs(tc, base)
+			}
 			m.tlbs[tc].Invalidate(base)
 			perCore[tc]++
 			m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
@@ -358,6 +362,9 @@ func (m *Manager) ScanAccessed(base sim.PageID) bool {
 	}
 	remote := 0
 	for _, tc := range targets {
+		if m.invalObs != nil {
+			m.invalObs(tc, base)
+		}
 		m.tlbs[tc].Invalidate(base)
 		m.debt[tc] += m.cost.IPIInterrupt
 		m.run.Add(tc, stats.RemoteTLBInvalidations, 1)
@@ -791,6 +798,9 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 	var work sim.Cycles
 	remote := 0
 	for _, tc := range targets {
+		if m.invalObs != nil {
+			m.invalObs(tc, base)
+		}
 		if tc == core {
 			m.tlbs[core].Invalidate(base)
 			work += m.cost.InvlpgLocal
