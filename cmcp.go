@@ -225,6 +225,52 @@ func Workloads() []Workload { return workload.Apps() }
 // WorkloadByName resolves "bt.B", "lu.B", "cg.B" or "SCALE".
 func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
 
+// Multi-tenant machines: set Config.Tenants (instead of Config.Workload)
+// and the run becomes many address spaces — one per tenant, each with
+// its own replacement-policy instance — contending for the shared
+// device frame pool under a deterministic Zipfian request driver.
+// Frame ownership is tracked in a coremap-style table; cross-tenant
+// eviction pressure follows proportional weights or hard partitions.
+// Per-tenant counters and fault-service histograms land in
+// Result.Run.Tenants; a nil Config.Tenants run is bit-identical to a
+// pre-tenant build.
+type (
+	// TenantSpec describes a multi-tenant machine (Config.Tenants).
+	TenantSpec = workload.TenantSpec
+	// TenantSet is the per-tenant counter and fault-latency record of a
+	// multi-tenant run (Run.Tenants; nil on single-tenant runs).
+	TenantSet = stats.TenantSet
+	// TenantCounter identifies one per-tenant event counter.
+	TenantCounter = stats.TenantCounter
+)
+
+// Per-tenant counters (indexes into a TenantSet).
+const (
+	// TenantTouches counts page touches issued by the tenant.
+	TenantTouches = stats.TenantTouches
+	// TenantFaults counts the tenant's major page faults.
+	TenantFaults = stats.TenantFaults
+	// TenantMinorFaults counts the tenant's PSPT sibling-PTE copies.
+	TenantMinorFaults = stats.TenantMinorFaults
+	// TenantEvictions counts frames evicted FROM the tenant.
+	TenantEvictions = stats.TenantEvictions
+	// TenantEvictionsCaused counts evictions the tenant's faults forced
+	// onto OTHER tenants (the cross-tenant pressure metric).
+	TenantEvictionsCaused = stats.TenantEvictionsCaused
+)
+
+// DefaultTenantSpec returns a ready-to-run tenant spec: `tenants`
+// address spaces of 16 pages each under Zipfian tenant selection with
+// exponent zipfS, rotating the hot set every churnEvery touches per
+// core (0 = no churn). Tune the returned fields before Simulate.
+func DefaultTenantSpec(tenants int, zipfS float64, churnEvery int) TenantSpec {
+	return workload.DefaultTenantSpec(tenants, zipfS, churnEvery)
+}
+
+// TenantCounterNames returns the per-tenant counter names in
+// TenantCounter order (the same table the JSON forms use).
+func TenantCounterNames() []string { return stats.TenantCounterNames() }
+
 // NewCMCPPolicy builds a standalone CMCP policy instance for library
 // embedding (outside the simulator): host supplies core-map counts,
 // capacity is the resident-mapping capacity, p the prioritized ratio.

@@ -107,6 +107,10 @@ func main() {
 		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
 		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
 
+		tenants = flag.Int("tenants", 0, "with -run: simulate N tenant address spaces contending for the frame pool (0 = single-tenant -workload run)")
+		zipfS   = flag.Float64("zipf-s", 1.1, "with -tenants: Zipfian tenant-popularity exponent (higher = more skew)")
+		churn   = flag.Int("churn", 0, "with -tenants: rotate the hot tenant set every N touches per core (0 = no churn)")
+
 		faultRate = flag.Float64("fault-rate", 0, "with -run or -exp: per-event device fault injection rate for every fault kind (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "with -run or -exp: fault injector seed (independent of -seed)")
 
@@ -149,7 +153,7 @@ func main() {
 		}
 	case *run:
 		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
-		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, eng, faults, topt, *histFlag, sopt); err != nil {
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, eng, faults, topt, *histFlag, sopt, *tenants, *zipfS, *churn); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -284,18 +288,29 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progre
 	return nil
 }
 
-func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, eng cmcp.EngineKind, faults *cmcp.FaultConfig, topt traceOptions, hist bool, sopt serveOptions) error {
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, eng cmcp.EngineKind, faults *cmcp.FaultConfig, topt traceOptions, hist bool, sopt serveOptions, tenants int, zipfS float64, churn int) error {
 	srv, stopSrv, err := startTelemetry(sopt, nil)
 	if err != nil {
 		return err
 	}
 	defer stopSrv()
-	wl, ok := cmcp.WorkloadByName(wlName)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", wlName)
-	}
-	if scale != 1.0 {
-		wl = wl.Scale(scale)
+	var wl cmcp.Workload
+	var tenantSpec *cmcp.TenantSpec
+	if tenants > 0 {
+		spec := cmcp.DefaultTenantSpec(tenants, zipfS, churn)
+		if scale != 1.0 {
+			spec.TotalTouches = int(float64(spec.TotalTouches) * scale)
+		}
+		tenantSpec = &spec
+	} else {
+		var ok bool
+		wl, ok = cmcp.WorkloadByName(wlName)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", wlName)
+		}
+		if scale != 1.0 {
+			wl = wl.Scale(scale)
+		}
 	}
 	kind, err := parsePolicy(polName)
 	if err != nil {
@@ -322,6 +337,7 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 	res, err := cmcp.Simulate(cmcp.Config{
 		Cores:            cores,
 		Workload:         wl,
+		Tenants:          tenantSpec,
 		MemoryRatio:      ratio,
 		PageSize:         size,
 		AdaptivePageSize: adaptive,
@@ -344,8 +360,12 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 	if adaptive {
 		sizeLabel = "adaptive"
 	}
+	name := wl.Name
+	if tenantSpec != nil {
+		name = tenantSpec.Name()
+	}
 	fmt.Printf("workload      %s (%d pages, %d frames, %s, %v)\n",
-		wl.Name, res.TotalPages, res.Frames, sizeLabel, tk)
+		name, res.TotalPages, res.Frames, sizeLabel, tk)
 	fmt.Printf("policy        %s\n", res.PolicyName)
 	fmt.Printf("runtime       %.2f Mcycles (%.2f ms at 1.053 GHz)\n",
 		float64(res.Runtime)/1e6, float64(res.Runtime)/1.053e6)
@@ -375,6 +395,24 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 			}
 			fmt.Printf("  %-26s %10d %12.1f %8d %8d %8d %8d %10d\n",
 				name, s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+		}
+	}
+	if ts := r.Tenants; ts != nil {
+		fmt.Printf("tenants       %d address spaces; fairness (Jain, over p99 fault service) %.3f\n",
+			ts.Tenants(), ts.FairnessIndex())
+		show := min(8, ts.Tenants())
+		fmt.Printf("  %-8s %12s %12s %10s %10s %10s %10s\n",
+			"tenant", "touches", "page_faults", "evictions", "caused", "p99(cyc)", "max(cyc)")
+		for t := 0; t < show; t++ {
+			s := ts.FaultHist(t).Summarize()
+			fmt.Printf("  %-8d %12d %12d %10d %10d %10d %10d\n", t,
+				ts.Get(t, cmcp.TenantTouches), ts.Get(t, cmcp.TenantFaults),
+				ts.Get(t, cmcp.TenantEvictions), ts.Get(t, cmcp.TenantEvictionsCaused),
+				s.P99, s.Max)
+		}
+		if ts.Tenants() > show {
+			fmt.Printf("  ... %d more tenants (full record lands in Run.Tenants and journals)\n",
+				ts.Tenants()-show)
 		}
 	}
 	if rec != nil {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cmcp/internal/mem"
 	"cmcp/internal/pspt"
 	"cmcp/internal/sim"
 	"cmcp/internal/vm"
@@ -46,7 +47,7 @@ type Config struct {
 // Violation is one detected invariant breach.
 type Violation struct {
 	// Module names the bookkeeping layer at fault: "residency", "tlb",
-	// "pspt", "policy" or "adaptive".
+	// "pspt", "policy", "adaptive" or "tenant".
 	Module string
 	// Detail says what disagreed with what.
 	Detail string
@@ -152,6 +153,7 @@ func (a *Auditor) Audit(m *vm.Manager) {
 	a.auditPSPT(m)
 	a.auditPolicy(m)
 	a.auditAdaptive(m)
+	a.auditTenants(m)
 }
 
 // auditResidency checks the first-order agreement: the mappings the
@@ -188,7 +190,7 @@ func (a *Auditor) auditResidency(m *vm.Manager) {
 	if got := m.Resident(); got != mappings {
 		a.report("residency", "address space reports %d resident, iteration found %d", got, mappings)
 	}
-	if got := m.Policy().Resident(); got != mappings {
+	if got := m.PolicyResident(); got != mappings {
 		a.report("residency", "policy %s tracks %d resident, address space holds %d",
 			m.Policy().Name(), got, mappings)
 	}
@@ -274,8 +276,19 @@ func (a *Auditor) auditPSPT(m *vm.Manager) {
 }
 
 // auditPolicy runs the policy's own structural self-check when it has
-// one (CMCP verifies its heap and position index).
+// one (CMCP verifies its heap and position index). Multi-tenant runs
+// self-check every tenant's instance.
 func (a *Auditor) auditPolicy(m *vm.Manager) {
+	if n := m.TenantCount(); n > 0 {
+		for t := 0; t < n; t++ {
+			if sc, ok := m.TenantPolicy(t).(selfChecker); ok {
+				if err := sc.CheckInvariants(); err != nil {
+					a.report("policy", "tenant %d: %v", t, err)
+				}
+			}
+		}
+		return
+	}
 	if sc, ok := m.Policy().(selfChecker); ok {
 		if err := sc.CheckInvariants(); err != nil {
 			a.report("policy", "%v", err)
@@ -328,4 +341,68 @@ func (a *Auditor) auditAdaptive(m *vm.Manager) {
 	}
 	compare("resInBlock", blocks, expB)
 	compare("resInGroup", groups, expG)
+}
+
+// auditTenants cross-checks the multi-tenant frame-ownership table
+// against the device and the per-tenant policies: every in-use frame
+// must be owned by exactly the tenant whose page occupies it (no frame
+// owned by two tenants — ownership is single-valued and must match the
+// device), free and quarantined frames must be unowned, the per-tenant
+// frame totals must sum to the device's frames in use, and each
+// tenant's policy residency must equal its actual mapping count.
+func (a *Auditor) auditTenants(m *vm.Manager) {
+	n := m.TenantCount()
+	if n == 0 {
+		return
+	}
+	cm := m.CoreMap()
+	dev := m.Device()
+	used := make([]int, n)
+	for f := 0; f < dev.NumFrames(); f++ {
+		frame := sim.FrameID(f)
+		owner := cm.Owner(frame)
+		page := dev.Owner(frame)
+		if page < 0 {
+			if owner != mem.NoTenant {
+				a.report("tenant", "frame %d is free or quarantined but the coremap says tenant %d owns it",
+					f, owner)
+			}
+			continue
+		}
+		want := m.TenantOf(page)
+		if owner == mem.NoTenant {
+			a.report("tenant", "frame %d holds tenant %d's page %d but the coremap says it is unowned",
+				f, want, page)
+			continue
+		}
+		if owner != want {
+			a.report("tenant", "frame %d holds tenant %d's page %d but the coremap says tenant %d owns it",
+				f, want, page, owner)
+		}
+		if owner >= 0 && owner < n {
+			used[owner]++
+		}
+	}
+	sum := 0
+	for t := 0; t < n; t++ {
+		if got := cm.Used(t); got != used[t] {
+			a.report("tenant", "tenant %d: coremap counts %d frames, device scan found %d", t, got, used[t])
+		}
+		sum += cm.Used(t)
+	}
+	if inUse := dev.NumFrames() - dev.FreeFrames() - dev.Quarantined(); sum != inUse {
+		a.report("tenant", "per-tenant frame counts sum to %d, device has %d frames in use", sum, inUse)
+	}
+	perTenant := make([]int, n)
+	m.ForEachMapping(func(base sim.PageID, size sim.PageSize, pfn int64) {
+		if t := m.TenantOf(base); t >= 0 && t < n {
+			perTenant[t]++
+		}
+	})
+	for t := 0; t < n; t++ {
+		if got := m.TenantPolicy(t).Resident(); got != perTenant[t] {
+			a.report("tenant", "tenant %d: policy tracks %d resident, address space holds %d",
+				t, got, perTenant[t])
+		}
+	}
 }

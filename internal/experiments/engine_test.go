@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/sim"
+	"cmcp/internal/vm"
+	"cmcp/internal/workload"
+)
+
+// tinyCfg builds a fast grid point; distinct seeds keep the two
+// configs distinct under the content key (Engine is key-excluded, so
+// same-seed configs would dedup to one run and share a Result).
+func tinyCfg(seed uint64, eng machine.EngineKind) machine.Config {
+	return machine.Config{
+		Cores:       2,
+		Workload:    workload.Uniform(64, 1500),
+		MemoryRatio: 0.5,
+		PageSize:    sim.Size4k,
+		Tables:      vm.PSPTKind,
+		Policy:      machine.PolicySpec{Kind: machine.FIFO, P: -1},
+		Seed:        seed,
+		Engine:      eng,
+	}
+}
+
+// TestRunPreservesPerConfigEngine pins the Options.run fix: setting
+// o.Hist used to stamp o.Engine (zero value: serial) over every config,
+// silently resetting a caller-supplied per-config ParallelEngine. The
+// per-config choice must survive when o.Engine is unset, and o.Engine
+// must still win when it IS set.
+func TestRunPreservesPerConfigEngine(t *testing.T) {
+	o := Options{Hist: true} // o.Engine unset (SerialEngine zero value)
+	cfgs := []machine.Config{tinyCfg(3, machine.ParallelEngine), tinyCfg(4, machine.SerialEngine)}
+	results, err := o.run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Config.Engine; got != machine.ParallelEngine {
+		t.Errorf("per-config ParallelEngine reset to %v by o.Hist", got)
+	}
+	if got := results[1].Config.Engine; got != machine.SerialEngine {
+		t.Errorf("per-config SerialEngine became %v", got)
+	}
+	for i, r := range results {
+		if r.Run.Hists == nil {
+			t.Errorf("run %d: o.Hist did not attach histograms", i)
+		}
+	}
+
+	// An explicitly set o.Engine still overrides every config.
+	o = Options{Engine: machine.ParallelEngine}
+	results, err = o.run([]machine.Config{tinyCfg(3, machine.SerialEngine)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Config.Engine; got != machine.ParallelEngine {
+		t.Errorf("o.Engine override lost: got %v", got)
+	}
+}

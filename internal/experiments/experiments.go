@@ -206,7 +206,13 @@ func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
 	if o.Hist || o.Engine != machine.SerialEngine {
 		for i := range cfgs {
 			cfgs[i].Hist = cfgs[i].Hist || o.Hist
-			cfgs[i].Engine = o.Engine
+			if o.Engine != machine.SerialEngine {
+				// Only override when the option is actually set: o.Engine's
+				// zero value is SerialEngine, and stamping it over every
+				// config just because o.Hist was set used to silently reset
+				// a caller-supplied per-config ParallelEngine.
+				cfgs[i].Engine = o.Engine
+			}
 		}
 	}
 	out, err := sweep.Run(cfgs, sweep.Options{

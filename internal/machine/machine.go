@@ -84,8 +84,19 @@ type PolicySpec struct {
 type Config struct {
 	// Cores is the number of application cores (1..60 on KNC).
 	Cores int
-	// Workload is the access-stream spec.
+	// Workload is the access-stream spec. Mutually exclusive with
+	// Tenants.
 	Workload workload.Spec
+	// Tenants, when non-nil, runs a multi-tenant machine instead of a
+	// single workload: Tenants.Tenants address spaces driven by the
+	// deterministic Zipfian serving workload, per-tenant policy
+	// instances over the shared frame pool, weighted or hard-partition
+	// eviction pressure, and per-tenant counters/fault-latency
+	// histograms on the Run (stats.TenantSet). Requires 4 kB pages
+	// without adaptive sizing. Plain data like Faults: safe to share
+	// across concurrent runs and to journal in sweeps. Nil leaves
+	// single-tenant behavior bit-identical to before the field existed.
+	Tenants *workload.TenantSpec
 	// MemoryRatio sets device memory as a fraction of the workload
 	// footprint (1.0 = everything fits, no data movement). Values are
 	// clamped to at least one mapping.
@@ -397,14 +408,58 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		// policies never miss a deadline by more than half a period.
 		cfg.TickInterval = 25_000
 	}
-	layout, err := cfg.Workload.Build(cfg.Cores)
+	var (
+		totalPages int
+		warmupFn   func() []workload.Stream
+		streamsFn  func(seed uint64) []workload.Stream
+	)
+	if cfg.Tenants != nil {
+		if cfg.Workload.Pages != 0 || cfg.Workload.TotalTouches != 0 || cfg.Workload.Name != "" {
+			return nil, fmt.Errorf("machine: Config.Tenants and Config.Workload are mutually exclusive")
+		}
+		if cfg.AdaptivePageSize || cfg.PageSize != sim.Size4k {
+			return nil, fmt.Errorf("machine: multi-tenant runs require 4 kB pages without adaptive sizing")
+		}
+		tl, err := cfg.Tenants.Build(cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		totalPages = tl.TotalPages
+		warmupFn = tl.WarmupStreams
+		streamsFn = tl.Streams
+	} else {
+		layout, err := cfg.Workload.Build(cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		totalPages = layout.TotalPages
+		warmupFn = layout.WarmupStreams
+		streamsFn = layout.Streams
+	}
+	frames := Frames(totalPages, cfg.MemoryRatio, cfg.PageSize)
+	// Per-tenant policy instances size to the tenant footprint and an
+	// even frame share, not the whole machine — what keeps a
+	// 10,000-tenant run's policy tables affordable.
+	polFrames, polPages := frames, totalPages
+	if cfg.Tenants != nil {
+		polFrames = frames / cfg.Tenants.Tenants
+		if polFrames < 1 {
+			polFrames = 1
+		}
+		polPages = cfg.Tenants.PagesPerTenant
+	}
+	factory, err := buildPolicy(cfg, polFrames, polPages, sc)
 	if err != nil {
 		return nil, err
 	}
-	frames := Frames(layout.TotalPages, cfg.MemoryRatio, cfg.PageSize)
-	factory, err := buildPolicy(cfg, frames, layout.TotalPages, sc)
-	if err != nil {
-		return nil, err
+	var vmTenants *vm.TenantConfig
+	if cfg.Tenants != nil {
+		vmTenants = &vm.TenantConfig{
+			Count:          cfg.Tenants.Tenants,
+			PagesPerTenant: cfg.Tenants.PagesPerTenant,
+			Weights:        cfg.Tenants.Weights,
+			HardPartition:  cfg.Tenants.HardPartition,
+		}
 	}
 	var inj *fault.Injector
 	if cfg.Faults != nil {
@@ -421,9 +476,10 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		Cost:     cfg.Cost,
 		Verify:   cfg.Verify,
 		Adaptive: cfg.AdaptivePageSize,
-		Pages:    layout.TotalPages,
+		Pages:    totalPages,
 		Scratch:  sc,
 		Hist:     cfg.Hist,
+		Tenants:  vmTenants,
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
 		Probe:             cfg.Probe,
@@ -441,7 +497,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		// Warm-up: every core touches its population once, bringing the
 		// resident set and TLBs to steady state, then all cores
 		// synchronize at a barrier and the counters are rebased.
-		t0, err = engine.run(layout.WarmupStreams(), 0)
+		t0, err = engine.run(warmupFn(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -455,7 +511,10 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		if run.Hists != nil {
 			run.Hists.Reset()
 		}
-		if _, err = engine.run(layout.Streams(cfg.Seed), t0); err != nil {
+		if run.Tenants != nil {
+			run.Tenants.ResetHists()
+		}
+		if _, err = engine.run(streamsFn(cfg.Seed), t0); err != nil {
 			return nil, err
 		}
 		if err := run.Subtract(warm); err != nil {
@@ -469,7 +528,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 			}
 		}
 	} else {
-		if _, err = engine.run(layout.Streams(cfg.Seed), 0); err != nil {
+		if _, err = engine.run(streamsFn(cfg.Seed), 0); err != nil {
 			return nil, err
 		}
 	}
@@ -488,7 +547,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		Run:         run,
 		Runtime:     run.Runtime(),
 		Frames:      frames,
-		TotalPages:  layout.TotalPages,
+		TotalPages:  totalPages,
 		PolicyName:  mgr.Policy().Name(),
 		Resident:    mgr.Resident(),
 		Quarantined: mgr.Device().Quarantined(),

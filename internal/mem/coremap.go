@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"fmt"
+
+	"cmcp/internal/sim"
+)
+
+// NoTenant marks a frame no tenant currently owns.
+const NoTenant = -1
+
+// CoreMap is the frame-ownership table of a multi-tenant machine: for
+// every physical frame, which tenant's page occupies it, plus the
+// per-tenant frame totals the eviction arbiter and the auditor consume.
+// It mirrors the coremap of teaching kernels (one entry per frame,
+// owner recorded at allocation, cleared at free) but tracks the owning
+// *tenant* rather than the owning address space struct — the simulator
+// keys address spaces by global page ID, so the page→tenant map is
+// arithmetic and only the frame→tenant direction needs state.
+//
+// The table is deliberately redundant bookkeeping: internal/check
+// cross-checks it against the Device's own owner-page records, so
+// drift between the two layers is caught instead of compounding.
+type CoreMap struct {
+	owner []int32 // frame → owning tenant, NoTenant when free
+	used  []int   // tenant → frames currently owned
+}
+
+// NewCoreMap returns an all-free table for frames frames and tenants
+// tenants.
+func NewCoreMap(frames, tenants int) *CoreMap {
+	owner := make([]int32, frames)
+	for i := range owner {
+		owner[i] = NoTenant
+	}
+	return &CoreMap{owner: owner, used: make([]int, tenants)}
+}
+
+// Tenants returns the tenant count the table was sized for.
+func (c *CoreMap) Tenants() int { return len(c.used) }
+
+// Frames returns the frame count the table was sized for.
+func (c *CoreMap) Frames() int { return len(c.owner) }
+
+// Owner returns the tenant owning frame f, or NoTenant.
+func (c *CoreMap) Owner(f sim.FrameID) int { return int(c.owner[f]) }
+
+// Used returns the number of frames tenant t currently owns.
+func (c *CoreMap) Used(t int) int { return c.used[t] }
+
+// UsedTotal returns the number of owned frames across all tenants.
+func (c *CoreMap) UsedTotal() int {
+	var sum int
+	for _, u := range c.used {
+		sum += u
+	}
+	return sum
+}
+
+// Claim records tenant t taking ownership of the span frames starting
+// at f. Claiming a frame that already has an owner is the "one frame,
+// two tenants" invariant breach and panics like Device.Free does on a
+// double free — by the time ownership is tracked wrongly, simulation
+// results are already garbage.
+func (c *CoreMap) Claim(f sim.FrameID, span, t int) {
+	for i := 0; i < span; i++ {
+		if cur := c.owner[f+sim.FrameID(i)]; cur != NoTenant {
+			panic(fmt.Sprintf("mem: frame %d claimed by tenant %d while owned by tenant %d",
+				f+sim.FrameID(i), t, cur))
+		}
+		c.owner[f+sim.FrameID(i)] = int32(t)
+	}
+	c.used[t] += span
+}
+
+// Release clears ownership of the span frames starting at f and
+// returns the tenant that owned them. Releasing an unowned frame
+// panics for the same reason Claim does.
+func (c *CoreMap) Release(f sim.FrameID, span int) int {
+	t := c.owner[f]
+	if t == NoTenant {
+		panic(fmt.Sprintf("mem: release of unowned frame %d", f))
+	}
+	for i := 0; i < span; i++ {
+		if cur := c.owner[f+sim.FrameID(i)]; cur != t {
+			panic(fmt.Sprintf("mem: releasing frames %d+%d spanning tenants %d and %d",
+				f, span, t, cur))
+		}
+		c.owner[f+sim.FrameID(i)] = NoTenant
+	}
+	c.used[t] -= span
+	return int(t)
+}

@@ -1,0 +1,74 @@
+package mem
+
+import (
+	"testing"
+
+	"cmcp/internal/sim"
+)
+
+func TestCoreMapClaimReleaseUsed(t *testing.T) {
+	cm := NewCoreMap(8, 3)
+	if cm.Frames() != 8 || cm.Tenants() != 3 {
+		t.Fatalf("geometry %d/%d", cm.Frames(), cm.Tenants())
+	}
+	for f := 0; f < 8; f++ {
+		if cm.Owner(sim.FrameID(f)) != NoTenant {
+			t.Fatalf("fresh frame %d owned by %d", f, cm.Owner(sim.FrameID(f)))
+		}
+	}
+	cm.Claim(0, 2, 1) // frames 0,1 -> tenant 1
+	cm.Claim(4, 1, 2)
+	if cm.Owner(0) != 1 || cm.Owner(1) != 1 || cm.Owner(4) != 2 {
+		t.Error("ownership not recorded")
+	}
+	if cm.Used(1) != 2 || cm.Used(2) != 1 || cm.Used(0) != 0 {
+		t.Errorf("used = %d/%d/%d", cm.Used(0), cm.Used(1), cm.Used(2))
+	}
+	if cm.UsedTotal() != 3 {
+		t.Errorf("UsedTotal = %d", cm.UsedTotal())
+	}
+	if prev := cm.Release(0, 2); prev != 1 {
+		t.Errorf("Release returned owner %d, want 1", prev)
+	}
+	if cm.Owner(0) != NoTenant || cm.Used(1) != 0 || cm.UsedTotal() != 1 {
+		t.Error("release did not clear ownership")
+	}
+	// The freed frames are claimable by another tenant.
+	cm.Claim(0, 2, 0)
+	if cm.Used(0) != 2 {
+		t.Error("re-claim after release failed")
+	}
+}
+
+func TestCoreMapDoubleClaimPanics(t *testing.T) {
+	cm := NewCoreMap(4, 2)
+	cm.Claim(1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("claiming an owned frame must panic")
+		}
+	}()
+	cm.Claim(0, 2, 1) // span covers owned frame 1
+}
+
+func TestCoreMapUnownedReleasePanics(t *testing.T) {
+	cm := NewCoreMap(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing an unowned frame must panic")
+		}
+	}()
+	cm.Release(2, 1)
+}
+
+func TestCoreMapSpanningReleasePanics(t *testing.T) {
+	cm := NewCoreMap(4, 2)
+	cm.Claim(0, 1, 0)
+	cm.Claim(1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing a run spanning two tenants must panic")
+		}
+	}()
+	cm.Release(0, 2)
+}

@@ -140,17 +140,21 @@ func (d *Device) Free(f sim.FrameID) {
 // caller must have rolled the mapping back), never rejoins the free
 // list, and is skipped by every future allocation — the device degrades
 // to a smaller healthy capacity instead of serving a bad frame again.
-// Quarantining an already-quarantined frame panics.
-func (d *Device) Quarantine(f sim.FrameID) {
+// Quarantining an already-retired frame is a no-op reporting false:
+// under high corruption rates a retried page-in can trip on a frame a
+// previous attempt already condemned, and retiring it "again" must not
+// double-count the capacity loss (this used to panic).
+func (d *Device) Quarantine(f sim.FrameID) bool {
 	fr := &d.frames[f]
 	if fr.quarantined {
-		panic(fmt.Sprintf("mem: double quarantine of frame %d", f))
+		return false
 	}
 	fr.vpn = -1
 	fr.dirty = false
 	fr.sig = 0
 	fr.quarantined = true
 	d.quarantined++
+	return true
 }
 
 // Quarantined returns the number of permanently retired frames.

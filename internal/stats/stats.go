@@ -213,6 +213,10 @@ type Run struct {
 	// Hists holds the run's latency/fan-out histograms; nil unless the
 	// run was configured with histograms enabled (machine.Config.Hist).
 	Hists *HistSet
+	// Tenants holds the per-tenant counters and fault-service
+	// histograms; nil unless the run was multi-tenant
+	// (machine.Config.Tenants).
+	Tenants *TenantSet
 }
 
 // NewRun allocates a record for n application cores plus the scanner
@@ -242,6 +246,15 @@ func (r *Run) EnableHists() *HistSet {
 		r.Hists = &HistSet{}
 	}
 	return r.Hists
+}
+
+// EnableTenants attaches a zeroed per-tenant record for n tenants
+// (idempotent when the tenant count matches).
+func (r *Run) EnableTenants(n int) *TenantSet {
+	if r.Tenants == nil || r.Tenants.n != n {
+		r.Tenants = NewTenantSet(n)
+	}
+	return r.Tenants
 }
 
 // Add increments counter c for core by delta.
@@ -297,6 +310,9 @@ func (r *Run) Merge(other *Run) error {
 	if (r.Hists == nil) != (other.Hists == nil) {
 		return fmt.Errorf("stats: merging runs with mismatched histogram presence")
 	}
+	if (r.Tenants == nil) != (other.Tenants == nil) {
+		return fmt.Errorf("stats: merging runs with mismatched tenant-record presence")
+	}
 	for i := range r.counters {
 		r.counters[i] += other.counters[i]
 	}
@@ -307,6 +323,11 @@ func (r *Run) Merge(other *Run) error {
 	}
 	if r.Hists != nil {
 		r.Hists.Merge(other.Hists)
+	}
+	if r.Tenants != nil {
+		if err := r.Tenants.Merge(other.Tenants); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -327,6 +348,9 @@ func (r *Run) CloneIn(sc *dense.Scratch) *Run {
 		h := *r.Hists
 		c.Hists = &h
 	}
+	if r.Tenants != nil {
+		c.Tenants = r.Tenants.CloneIn(sc)
+	}
 	return c
 }
 
@@ -341,6 +365,11 @@ func (r *Run) Subtract(base *Run) error {
 	}
 	for i := range r.counters {
 		r.counters[i] -= base.counters[i]
+	}
+	if r.Tenants != nil && base.Tenants != nil {
+		if err := r.Tenants.Subtract(base.Tenants); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -361,6 +390,9 @@ func (r *Run) DivideBy(n uint64) {
 	for i := range r.Finish {
 		r.Finish[i] /= sim.Cycles(n)
 	}
+	if r.Tenants != nil {
+		r.Tenants.DivideBy(n)
+	}
 }
 
 // runJSON is Run's serialized form: the flat per-core counter matrix
@@ -378,6 +410,9 @@ type runJSON struct {
 	// reader can length-check instead of letting encoding/json silently
 	// truncate or zero-fill a mismatched record.
 	Hists []hist.H `json:"hists,omitempty"`
+	// Tenants serializes the per-tenant record (absent on single-tenant
+	// runs, so pre-tenant journal readers and goldens are unaffected).
+	Tenants *TenantSet `json:"tenants,omitempty"`
 }
 
 // MarshalJSON encodes the run losslessly: counters, finish times and
@@ -385,7 +420,7 @@ type runJSON struct {
 // journaled run merges bit-identically to the in-memory one it
 // snapshots.
 func (r *Run) MarshalJSON() ([]byte, error) {
-	j := runJSON{Cores: r.Cores, Counters: r.counters, Finish: r.Finish}
+	j := runJSON{Cores: r.Cores, Counters: r.counters, Finish: r.Finish, Tenants: r.Tenants}
 	if r.Hists != nil {
 		j.Hists = r.Hists[:]
 	}
@@ -417,6 +452,7 @@ func (r *Run) UnmarshalJSON(data []byte) error {
 		}
 	}
 	r.Cores, r.counters, r.Finish, r.Hists = j.Cores, j.Counters, j.Finish, hs
+	r.Tenants = j.Tenants
 	return nil
 }
 

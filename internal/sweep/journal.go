@@ -18,9 +18,17 @@ import (
 // header line carrying the schema and the counter- and histogram-name
 // tables in force when it was written; every later line is one
 // completed run. v2 added the histogram table (and histogram payloads
-// inside Run records); v1 journals are rejected — their runs predate
-// histograms and the keys that select them.
-const Schema = "cmcp-sweep/v2"
+// inside Run records); v3 added multi-tenant machines (per-tenant
+// records inside Run, tenant fields in the content key). Stale
+// schemas are rejected: their runs predate fields the keys now select.
+const Schema = "cmcp-sweep/v3"
+
+// staleSchemas are schemas this build once wrote and now refuses, so
+// the rejection can say "outdated" rather than "not a journal".
+var staleSchemas = map[string]bool{
+	"cmcp-sweep/v1": true,
+	"cmcp-sweep/v2": true,
+}
 
 // header is the journal's first line.
 type header struct {
@@ -105,6 +113,9 @@ func ReadJournalLenient(r io.Reader) (entries []Entry, skipped int, err error) {
 	}
 	var h header
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Schema != Schema {
+		if err == nil && staleSchemas[h.Schema] {
+			return nil, 0, fmt.Errorf("sweep: journal schema %q is outdated; this build writes %q (multi-tenant fields joined the content key, so pre-tenant entries can never satisfy current sweeps) — start a fresh journal", h.Schema, Schema)
+		}
 		return nil, 0, fmt.Errorf("sweep: journal header missing or not %q (corrupt first line, or not a sweep journal)", Schema)
 	}
 	if want := stats.CounterNames(); !equalStrings(h.Counters, want) {

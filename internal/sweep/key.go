@@ -16,7 +16,11 @@ import (
 // meaning of a hashed field changes (not merely when fields are added —
 // added fields change keys by themselves), so journals written under
 // older semantics can never satisfy a new sweep.
-const keyVersion = 1
+//
+// v2: multi-tenant machines. Config.Tenants is hashed (presence plus
+// every field) and the journaled Run payload grew a per-tenant record,
+// so pre-tenant journal entries can never satisfy a tenant sweep.
+const keyVersion = 2
 
 // Key returns the deterministic content key of one run configuration:
 // a 64-bit FNV-1a hash, rendered as 16 hex digits, over every field
@@ -60,6 +64,28 @@ func Key(cfg machine.Config) (string, error) {
 	w.b(s.PhaseShift)
 	w.i(s.HotStripe)
 	w.f64(s.HotSkew)
+
+	// Tenant spec, field by field in declaration order.
+	if ten := cfg.Tenants; ten != nil {
+		w.b(true)
+		w.i(ten.Tenants)
+		w.i(ten.PagesPerTenant)
+		w.i(ten.TotalTouches)
+		w.f64(ten.WriteFrac)
+		w.f64(ten.ZipfS)
+		w.f64(ten.PageSkew)
+		w.i(ten.Burst)
+		w.i(ten.ChurnEvery)
+		w.i(ten.ChurnStride)
+		w.i(ten.DiurnalEvery)
+		w.i(len(ten.Weights))
+		for _, wt := range ten.Weights {
+			w.f64(wt)
+		}
+		w.b(ten.HardPartition)
+	} else {
+		w.b(false)
+	}
 
 	w.f64(cfg.MemoryRatio)
 	w.u64(uint64(cfg.PageSize))

@@ -285,7 +285,8 @@ func TestJournalRejectsForeignHeader(t *testing.T) {
 		"noheader.jsonl":    `{"key":"abc","cores":1}` + "\n",
 		"badschema.jsonl":   `{"schema":"cmcp-sweep/v0","counters":[]}` + "\n",
 		"oldschema.jsonl":   `{"schema":"cmcp-sweep/v1","counters":[]}` + "\n",
-		"badcounters.jsonl": `{"schema":"cmcp-sweep/v2","counters":["bogus"]}` + "\n",
+		"pretenant.jsonl":   `{"schema":"cmcp-sweep/v2","counters":[]}` + "\n",
+		"badcounters.jsonl": `{"schema":"cmcp-sweep/v3","counters":["bogus"]}` + "\n",
 		"badhists.jsonl":    validCountersBadHistsHeader() + "\n",
 	} {
 		path := filepath.Join(dir, name)
@@ -299,8 +300,8 @@ func TestJournalRejectsForeignHeader(t *testing.T) {
 	}
 }
 
-// validCountersBadHistsHeader builds a v2 header whose counter table is
-// current but whose histogram table is foreign.
+// validCountersBadHistsHeader builds a current-schema header whose
+// counter table is current but whose histogram table is foreign.
 func validCountersBadHistsHeader() string {
 	h := map[string]any{
 		"schema":   Schema,

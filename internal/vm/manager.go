@@ -73,6 +73,12 @@ type Config struct {
 	// page-indexed tables so repeated runs (RunMany) stop allocating.
 	// Nil falls back to plain make.
 	Scratch *dense.Scratch
+	// Tenants, when non-nil, splits the page space into that many
+	// address spaces contending for the one frame pool: per-tenant
+	// policy instances, a frame-ownership table, weighted or
+	// hard-partitioned eviction pressure, and per-tenant counters on
+	// the run. Requires 4 kB pages without adaptive sizing.
+	Tenants *TenantConfig
 }
 
 // PolicyFactory builds the replacement policy against the kernel-side
@@ -113,6 +119,8 @@ type Manager struct {
 
 	degraded map[sim.PageID]struct{} // pages on regular-table semantics after skew repair
 	allCores []sim.CoreID            // lazily built broadcast target list (degraded pages)
+
+	mt *tenantState // nil = single-tenant machine
 }
 
 // NewManager builds the VM subsystem and its policy.
@@ -165,9 +173,20 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 	if cfg.Adaptive {
 		m.adapter = newSizeAdapter(cfg.Pages, sc)
 	}
-	m.pol = factory(m)
-	if obs, ok := m.pol.(FaultObserver); ok {
-		m.faultObs = obs
+	if cfg.Tenants != nil {
+		mt, err := newTenantState(m, *cfg.Tenants, factory)
+		if err != nil {
+			return nil, err
+		}
+		m.mt = mt
+		// Representative instance for Name()/inspection; every
+		// behavioral call site routes through mt instead.
+		m.pol = mt.pols[0]
+	} else {
+		m.pol = factory(m)
+		if obs, ok := m.pol.(FaultObserver); ok {
+			m.faultObs = obs
+		}
 	}
 	return m, nil
 }
@@ -256,7 +275,13 @@ func (m *Manager) Tick(now sim.Cycles) sim.Cycles {
 	if m.rec != nil {
 		m.rec.Advance(now)
 	}
-	m.pol.Tick(now)
+	if m.mt != nil {
+		for _, p := range m.mt.pols {
+			p.Tick(now)
+		}
+	} else {
+		m.pol.Tick(now)
+	}
 	if m.adapter != nil {
 		m.adapter.tick(now)
 	}
@@ -410,6 +435,9 @@ func (m *Manager) lookupAny(vpn sim.PageID) (pagetable.PTE, sim.PageSize, bool) 
 // unrecoverable and the returned time is meaningless.
 func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cycles) (sim.Cycles, error) {
 	m.run.Add(core, stats.Touches, 1)
+	if m.mt != nil {
+		m.mt.ts.Add(m.mt.tenantOf(vpn), stats.TenantTouches, 1)
+	}
 	t := now
 	switch m.tlbs[core].Lookup(vpn) {
 	case tlb.HitL1:
@@ -469,12 +497,19 @@ func (m *Manager) frameOf(core sim.CoreID, vpn sim.PageID) (sim.FrameID, bool) {
 // lock release, including injected-fault retries and backoff — so the
 // distribution captures exactly what the faulting core experienced.
 func (m *Manager) fault(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (sim.Cycles, error) {
-	if m.hs == nil {
+	if m.hs == nil && m.mt == nil {
 		return m.faultService(core, vpn, t)
 	}
 	end, err := m.faultService(core, vpn, t)
 	if err == nil {
-		m.hs.Record(stats.FaultServiceHist, uint64(end-t))
+		if m.hs != nil {
+			m.hs.Record(stats.FaultServiceHist, uint64(end-t))
+		}
+		if m.mt != nil {
+			// Per-tenant fault-service latency is always on for tenant
+			// runs: it feeds the p99/fairness metrics, not Config.Hist.
+			m.mt.ts.RecordFault(m.mt.tenantOf(vpn), uint64(end-t))
+		}
 	}
 	return end, err
 }
@@ -490,6 +525,9 @@ func (m *Manager) faultService(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (s
 	// its PTE under the per-page lock.
 	if base, ok := m.as.ResolveSibling(core, vpn, pagetable.Writable); ok {
 		m.run.Add(core, stats.MinorFaults, 1)
+		if m.mt != nil {
+			m.mt.ts.Add(m.mt.tenantOf(vpn), stats.TenantMinorFaults, 1)
+		}
 		t += m.cost.PSPTConsult
 		t = m.acquirePageLock(core, base, t)
 		if m.rec != nil {
@@ -509,7 +547,11 @@ func (m *Manager) faultService(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (s
 				}
 			}
 		}
-		m.pol.PTESetup(base)
+		if m.mt != nil {
+			m.mt.pteSetup(base)
+		} else {
+			m.pol.PTESetup(base)
+		}
 		if _, size, ok := m.as.Lookup(core, vpn); ok {
 			m.tlbs[core].Insert(vpn, size)
 		}
@@ -529,7 +571,13 @@ func (m *Manager) faultService(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (s
 	if m.rec != nil {
 		m.rec.Emit(t, core, obs.EvFault, vpn, 0)
 	}
-	if m.faultObs != nil {
+	if m.mt != nil {
+		vt := m.mt.tenantOf(vpn)
+		m.mt.ts.Add(vt, stats.TenantFaults, 1)
+		if o := m.mt.fobs[vt]; o != nil {
+			o.NoteFault()
+		}
+	} else if m.faultObs != nil {
 		m.faultObs.NoteFault()
 	}
 	size := m.cfg.PageSize
@@ -657,7 +705,11 @@ func (m *Manager) service(core sim.CoreID, vpn, base sim.PageID, size sim.PageSi
 	if m.adapter != nil {
 		m.adapter.mapped(base, size)
 	}
-	m.pol.PTESetup(base)
+	if m.mt != nil {
+		m.mt.pteSetup(base)
+	} else {
+		m.pol.PTESetup(base)
+	}
 	m.tlbs[core].Insert(vpn, size)
 
 	wire = sim.Cycles(float64(bytes) / m.cost.DMABytesPerCycle)
@@ -728,6 +780,9 @@ func (m *Manager) pageInTx(core sim.CoreID, base sim.PageID, frame sim.FrameID, 
 
 // rollbackFrames releases a failed attempt's whole allocation.
 func (m *Manager) rollbackFrames(frame sim.FrameID, span int) {
+	if m.mt != nil {
+		m.mt.release(frame, span)
+	}
 	for i := 0; i < span; i++ {
 		m.dev.Free(frame + sim.FrameID(i))
 	}
@@ -736,6 +791,9 @@ func (m *Manager) rollbackFrames(frame sim.FrameID, span int) {
 // quarantineFrame retires the bad frame of a failed attempt and releases
 // the healthy rest.
 func (m *Manager) quarantineFrame(frame sim.FrameID, span, bad int) {
+	if m.mt != nil {
+		m.mt.release(frame, span)
+	}
 	for i := 0; i < span; i++ {
 		f := frame + sim.FrameID(i)
 		if i == bad {
@@ -749,6 +807,9 @@ func (m *Manager) quarantineFrame(frame sim.FrameID, span, bad int) {
 // allocFrames obtains span naturally aligned contiguous frames,
 // evicting victims until the allocation succeeds.
 func (m *Manager) allocFrames(core sim.CoreID, base sim.PageID, span int) (sim.FrameID, sim.Cycles, int64, error) {
+	if m.mt != nil {
+		return m.allocFramesTenant(core, base, span)
+	}
 	var work sim.Cycles
 	var bytes int64
 	for {
@@ -855,6 +916,10 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 	}
 
 	span := int(size.Span())
+	if m.mt != nil {
+		owner := m.mt.release(sim.FrameID(pfn), span)
+		m.mt.ts.Add(owner, stats.TenantEvictions, 1)
+	}
 	dirty := false
 	for i := 0; i < span; i++ {
 		f := sim.FrameID(pfn + int64(i))

@@ -79,6 +79,9 @@ func (m *Manager) ProbeAccess(core sim.CoreID, vpn sim.PageID) (extra sim.Cycles
 // the core's TLB entry first, which rolls the run back).
 func (m *Manager) CommitTouches(core sim.CoreID, vpn sim.PageID, level tlb.HitLevel, count uint64, write, book bool) {
 	m.run.Add(core, stats.Touches, count)
+	if m.mt != nil {
+		m.mt.ts.Add(m.mt.tenantOf(vpn), stats.TenantTouches, count)
+	}
 	switch level {
 	case tlb.HitL2:
 		m.run.Add(core, stats.DTLBMisses, 1)
