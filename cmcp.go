@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"cmcp/internal/check"
+	"cmcp/internal/coord"
 	"cmcp/internal/core"
 	"cmcp/internal/experiments"
 	"cmcp/internal/fault"
@@ -366,9 +367,18 @@ type (
 func NewSweepProgress() *SweepProgress { return obs.NewProgress() }
 
 // SweepKey returns the deterministic content key identifying cfg's run
-// in sweep journals (configs with a custom Policy.Factory have no
-// stable cross-process identity and are rejected).
+// in sweep journals. A custom Policy.Factory must be registered first
+// (RegisterSweepPolicy) so its name gives the config a stable
+// cross-process identity; unregistered factories are rejected.
 func SweepKey(cfg Config) (string, error) { return sweep.Key(cfg) }
+
+// RegisterSweepPolicy gives a custom Policy.Factory a stable name for
+// sweep content keys and coordinator dispatch. Register the same name
+// to the same (top-level) factory function in every process of a
+// distributed sweep — the worker resolves the name through its own
+// registry, and a drift guard rejects any skew. Panics on a duplicate
+// name or an already-registered factory.
+func RegisterSweepPolicy(name string, factory PolicyFactory) { sweep.RegisterPolicy(name, factory) }
 
 // ReadSweepJournal reads a sweep journal, skipping malformed entry
 // lines (e.g. the torn last line of a killed sweep) and reporting how
@@ -376,6 +386,70 @@ func SweepKey(cfg Config) (string, error) { return sweep.Key(cfg) }
 func ReadSweepJournal(r io.Reader) ([]SweepEntry, int, error) {
 	return sweep.ReadJournalLenient(r)
 }
+
+// CompactSweepJournal rewrites the journal at path to out, keeping only
+// the last entry per content key, dropping torn lines, and emitting
+// entries in sorted key order — the canonical form: any two journals
+// holding the same runs compact to byte-identical files (what the
+// chaos CI job cmps). path == out compacts in place via atomic rename.
+func CompactSweepJournal(path, out string) (SweepCompactStats, error) {
+	return sweep.CompactJournal(path, out)
+}
+
+// SweepRuntimesByKey reads the simulated runtime of every run recorded
+// in the journal at path, keyed by content key — the input to
+// longest-first scheduling. A missing journal yields an empty map.
+func SweepRuntimesByKey(path string) (map[string]Cycles, error) {
+	return sweep.RuntimesByKey(path)
+}
+
+// Distributed sweeps: a Coordinator owns a sweep grid and leases runs
+// over HTTP to SweepWorker processes, with heartbeats, capped-backoff
+// retries, work stealing, and poisoned-key quarantine (internal/coord).
+// Durable state lives only in the sweep journal, so any mix of worker
+// kill -9s and coordinator restarts still merges bit-identically to a
+// local sweep. Wire one in as ExperimentOptions.Runner, or use
+// cmcpsim -coordinate / -worker.
+type (
+	// SweepBackend is the pluggable journal store (JSONL file,
+	// in-memory, or fsynced directory tree); see SweepOptions-style
+	// use via sweep.Options.Backend in internal docs.
+	SweepBackend = sweep.Backend
+	// SweepCompactStats reports what CompactSweepJournal kept/dropped.
+	SweepCompactStats = sweep.CompactStats
+	// SweepRunner executes a planned batch of sweep runs; the
+	// Coordinator implements it.
+	SweepRunner = sweep.Runner
+	// Coordinator is the crash-tolerant sweep coordinator.
+	Coordinator = coord.Coordinator
+	// CoordinatorOptions tune lease TTL, retry budget and backoff.
+	CoordinatorOptions = coord.Options
+	// CoordinatorStats snapshots the lease table and lifetime counters.
+	CoordinatorStats = coord.Stats
+	// PoisonedKey is one quarantined config in the coordinator report.
+	PoisonedKey = coord.PoisonedKey
+	// SweepWorker is the coordinator's client: lease, heartbeat, run,
+	// post result, repeat.
+	SweepWorker = coord.Worker
+)
+
+// NewCoordinator builds an idle coordinator; Start(addr) serves the
+// lease protocol, and passing it as ExperimentOptions.Runner (it
+// implements SweepRunner) dispatches experiment grids to workers.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator { return coord.New(opt) }
+
+// NewFileSweepBackend opens an append-mode JSONL journal backend (the
+// same format Journal paths use).
+func NewFileSweepBackend(path string) SweepBackend { return sweep.NewFileBackend(path) }
+
+// NewMemSweepBackend returns an in-memory journal backend for tests
+// and ephemeral sweeps.
+func NewMemSweepBackend() SweepBackend { return sweep.NewMemBackend() }
+
+// NewDirSweepBackend returns a directory-tree journal backend: one
+// file per content key, written atomically (temp + fsync + rename), so
+// a torn write can never corrupt a previously durable entry.
+func NewDirSweepBackend(dir string) SweepBackend { return sweep.NewDirBackend(dir) }
 
 // Latency histograms: set Config.Hist and the run records log₂
 // distributions of page-fault service time, eviction+write-back
@@ -430,6 +504,11 @@ type (
 	TelemetryServer = telemetry.Server
 	// TelemetrySnapshot is one immutable published aggregate.
 	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryCoordStats mirrors CoordinatorStats for the telemetry
+	// server's cmcp_coord_* metric families; attach a live source via
+	// TelemetryServer.SetCoordSource (cmcpsim does this under
+	// -coordinate -serve).
+	TelemetryCoordStats = telemetry.CoordStats
 )
 
 // NewTelemetryServer builds a telemetry server; progress (may be nil)

@@ -14,6 +14,15 @@
 //	cmcpsim -exp all -journal s1.jsonl -shard 1/2   # CI job B
 //	cmcpsim -exp all -journal s0.jsonl -journal-import s1.jsonl  # merge
 //
+// Or run the sweep as a crash-tolerant coordinator with a worker
+// fleet: workers lease runs over HTTP, heartbeat while simulating, and
+// any kill -9 or coordinator restart is recovered from the journal —
+// the merged result is bit-identical to a local sweep:
+//
+//	cmcpsim -exp fig7 -journal sweep.jsonl -coordinate 127.0.0.1:9152
+//	cmcpsim -worker http://127.0.0.1:9152     # as many as you like
+//	cmcpsim -compact-journal sweep.jsonl      # dedup after retries
+//
 // Run a single simulation:
 //
 //	cmcpsim -run -workload cg.B -cores 56 -ratio 0.4 -policy CMCP -p 0.25
@@ -96,6 +105,18 @@ func main() {
 		journalImport = flag.String("journal-import", "", "with -exp: comma-separated read-only journals to merge (other shards' output)")
 		shard         = flag.String("shard", "", "with -exp: run only shard i of n, as \"i/n\"; partitions the grid by content key")
 		progress      = flag.Bool("progress", false, "with -exp: report sweep progress (runs done/total, runs/s, ETA) on stderr")
+		scheduleFrom  = flag.String("schedule-from", "", "with -exp: order pending runs longest-first using runtimes recorded in this journal (a previous run's -journal)")
+
+		coordinate  = flag.String("coordinate", "", "with -exp: serve the sweep as a coordinator on this address (e.g. 127.0.0.1:9152) and dispatch runs to -worker processes instead of executing locally; requires -journal")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "with -coordinate: lease expiry without a heartbeat")
+		maxAttempts = flag.Int("max-attempts", 3, "with -coordinate: failed leases per key before it is quarantined as poisoned")
+		linger      = flag.Duration("linger", 3*time.Second, "with -coordinate: keep serving this long after the sweep finishes so workers hear 'done' and exit cleanly")
+
+		workerBase = flag.String("worker", "", "run as a sweep worker against this coordinator URL (e.g. http://host:9152) until the sweep is done")
+		workerName = flag.String("worker-name", "", "with -worker: name reported in leases and logs (default worker-<pid>)")
+
+		compactJournal = flag.String("compact-journal", "", "compact this sweep journal (keep the last entry per key, drop torn lines, sort) and exit")
+		compactOut     = flag.String("compact-out", "", "with -compact-journal: output path (default: compact in place)")
 
 		run      = flag.Bool("run", false, "run a single simulation instead of an experiment")
 		wlName   = flag.String("workload", "SCALE", "workload: bt.B|lu.B|cg.B|SCALE")
@@ -139,6 +160,28 @@ func main() {
 	}
 	sopt := serveOptions{addr: *serve, grace: *serveGrace}
 	switch {
+	case *compactJournal != "":
+		out := *compactOut
+		if out == "" {
+			out = *compactJournal
+		}
+		st, err := cmcp.CompactSweepJournal(*compactJournal, out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compacted %s -> %s: %d entries kept, %d duplicates dropped, %d torn lines skipped\n",
+			*compactJournal, out, st.Kept, st.Dropped, st.Skipped)
+	case *workerBase != "":
+		w := &cmcp.SweepWorker{
+			Base: strings.TrimRight(*workerBase, "/"),
+			Name: *workerName,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "[worker] "+format+"\n", args...)
+			},
+		}
+		if err := w.Run(); err != nil {
+			fatal(err)
+		}
 	case *bench:
 		if faults != nil {
 			// Benchmarks measure the fault-free hot path; injecting
@@ -162,28 +205,89 @@ func main() {
 			fatal(err)
 		}
 		o := cmcp.ExperimentOptions{
-			Scale:       *scale,
-			Quick:       *quick,
-			Seed:        *seed,
-			Parallelism: *parallel,
-			Repeats:     *repeats,
-			Faults:      faults,
-			Journal:     *journal,
-			Imports:     splitList(*journalImport),
-			Shard:       shardIdx,
-			Shards:      shardCount,
-			Engine:      eng,
-			Hist:        *histFlag,
+			Scale:        *scale,
+			Quick:        *quick,
+			Seed:         *seed,
+			Parallelism:  *parallel,
+			Repeats:      *repeats,
+			Faults:       faults,
+			Journal:      *journal,
+			Imports:      splitList(*journalImport),
+			Shard:        shardIdx,
+			Shards:       shardCount,
+			Engine:       eng,
+			Hist:         *histFlag,
+			ScheduleFrom: *scheduleFrom,
 		}
 		if shardCount > 1 && *journal == "" {
 			fatal(fmt.Errorf("-shard requires -journal: a shard's only output is its journal"))
 		}
-		if err := runExperiments(*exp, o, *csv, *plotFlag, *progress, sopt); err != nil {
+		var coordinator *cmcp.Coordinator
+		if *coordinate != "" {
+			if *journal == "" {
+				// The journal is the coordinator's only durable state; a
+				// coordinated sweep without one could not survive a restart.
+				fatal(fmt.Errorf("-coordinate requires -journal: the journal is the sweep's durable state"))
+			}
+			if shardCount > 1 {
+				fatal(fmt.Errorf("-coordinate replaces -shard: the coordinator partitions work by lease, not by shard"))
+			}
+			// The meter is shared: the sweep layer advances done counts,
+			// the coordinator adds retried/poisoned.
+			o.Progress = cmcp.NewSweepProgress()
+			coordinator = cmcp.NewCoordinator(cmcp.CoordinatorOptions{
+				LeaseTTL:    *leaseTTL,
+				MaxAttempts: *maxAttempts,
+				Progress:    o.Progress,
+			})
+			if err := coordinator.Start(*coordinate); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "[coord] serving sweep on http://%s/ — start workers with: cmcpsim -worker http://%s\n",
+				coordinator.Addr(), coordinator.Addr())
+			o.Runner = coordinator
+		}
+		err = runExperiments(*exp, o, *csv, *plotFlag, *progress, sopt, coordinator)
+		if coordinator != nil {
+			// Let the fleet hear "done" (or grab the poisoned report)
+			// before the listener disappears.
+			coordinator.Finish()
+			if *linger > 0 {
+				time.Sleep(*linger)
+			}
+			coordinator.Close()
+			if report := coordinator.PoisonedReport(); len(report) > 0 {
+				fmt.Fprintf(os.Stderr, "[coord] %d poisoned key(s):\n", len(report))
+				for _, p := range report {
+					fmt.Fprintf(os.Stderr, "[coord]   %s (workload %q, seed %d): %d attempts, last error: %s\n",
+						p.Key, p.Workload, p.Seed, p.Attempts, p.LastErr)
+				}
+			}
+		}
+		if err != nil {
 			fatal(err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// coordTelemetry maps a coordinator snapshot onto the telemetry
+// server's cmcp_coord_* families (the facade keeps the two packages
+// decoupled, so the field copy lives here).
+func coordTelemetry(s cmcp.CoordinatorStats) cmcp.TelemetryCoordStats {
+	return cmcp.TelemetryCoordStats{
+		KeysPending:      uint64(s.KeysPending),
+		KeysLeased:       uint64(s.KeysLeased),
+		KeysDone:         s.KeysDone,
+		KeysPoisoned:     s.KeysPoisoned,
+		LeasesGranted:    s.LeasesGranted,
+		LeasesExpired:    s.LeasesExpired,
+		LeasesStolen:     s.LeasesStolen,
+		Heartbeats:       s.Heartbeats,
+		Retries:          s.Retries,
+		DuplicateResults: s.DuplicateResults,
 	}
 }
 
@@ -215,13 +319,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progress bool, sopt serveOptions) error {
+func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progress bool, sopt serveOptions, coordinator *cmcp.Coordinator) error {
 	ids := []string{id}
 	if id == "all" {
 		ids = []string{"fig6", "fig8", "fig7", "table1", "fig9", "fig10", "sense"}
 	}
 	sharded := o.Shards > 1
-	if progress || sharded || sopt.addr != "" {
+	if o.Progress == nil && (progress || sharded || sopt.addr != "") {
 		o.Progress = cmcp.NewSweepProgress()
 	}
 	srv, stopSrv, err := startTelemetry(sopt, o.Progress)
@@ -233,6 +337,12 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progre
 		// Executed runs stream into the server's atomic snapshot as
 		// they complete; scrapers read the snapshot, never live state.
 		o.OnResult = func(r *cmcp.Result) { srv.Publish(r.Run) }
+		if coordinator != nil {
+			// /metrics polls the lease table live at scrape time.
+			srv.SetCoordSource(func() cmcp.TelemetryCoordStats {
+				return coordTelemetry(coordinator.Stats())
+			})
+		}
 	}
 	if progress {
 		// Periodic one-line status on stderr while the sweep grinds.

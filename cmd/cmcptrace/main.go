@@ -11,6 +11,14 @@
 // text timeline:
 //
 //	cmcptrace -replay run.jsonl -buckets 24
+//
+// And it summarizes sweep journals (the JSONL files that
+// `cmcpsim -exp -journal x.jsonl` checkpoints, locally or through a
+// coordinator), showing per-policy/workload totals, the longest runs
+// (what -schedule-from will front-load) and duplicate keys (what
+// -compact-journal will drop):
+//
+//	cmcptrace -journal sweep.jsonl
 package main
 
 import (
@@ -18,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"cmcp/internal/core"
 	"cmcp/internal/obs"
 	"cmcp/internal/policy"
 	"cmcp/internal/sim"
+	"cmcp/internal/sweep"
 	"cmcp/internal/trace"
 	"cmcp/internal/workload"
 )
@@ -33,6 +43,7 @@ func main() {
 		analyze = flag.String("analyze", "", "trace file to analyze")
 		replay  = flag.String("replay", "", "flight-recorder JSONL event trace to render as a timeline")
 		buckets = flag.Int("buckets", 20, "time buckets for -replay")
+		journal = flag.String("journal", "", "sweep journal (JSONL) to summarize: per-workload/policy run counts, runtimes, duplicate keys")
 		wlName  = flag.String("workload", "cg.B", "workload: bt.B|lu.B|cg.B|SCALE")
 		cores   = flag.Int("cores", 16, "cores")
 		scale   = flag.Float64("scale", 0.1, "workload scale")
@@ -53,6 +64,10 @@ func main() {
 		}
 	case *replay != "":
 		if err := doReplay(os.Stdout, *replay, *buckets); err != nil {
+			fatal(err)
+		}
+	case *journal != "":
+		if err := doJournal(os.Stdout, *journal); err != nil {
 			fatal(err)
 		}
 	default:
@@ -134,6 +149,97 @@ func coreSummary(events []obs.Event) string {
 		s += fmt.Sprintf("%8d %10d %10d %12d %16d\n", c, a.faults, a.evictions, a.shootdowns, a.lockWait)
 	}
 	return s
+}
+
+// doJournal summarizes a sweep journal: how many runs it holds, which
+// keys appear more than once (retries, duplicate deliveries, repeats —
+// the lines `cmcpsim -compact-journal` drops), per policy/workload
+// totals, and the longest runs by recorded runtime — the ones a
+// `-schedule-from` resume will hand out first. The read is lenient for
+// the same reason -replay's is: the journal of a crashed sweep
+// legitimately ends in a torn line.
+func doJournal(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, skipped, err := sweep.ReadJournalLenient(f)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "warning: skipped %d malformed line(s) in %s\n\n", skipped, path)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(w, "journal %s: empty (header only, or fresh sweep)\n", path)
+		return nil
+	}
+
+	perKey := map[string]int{}
+	type agg struct {
+		runs    int
+		runtime sim.Cycles
+	}
+	perGroup := map[string]*agg{}
+	// Last entry per key wins, matching the sweep's resume and the
+	// compactor's keep rule.
+	last := map[string]sweep.Entry{}
+	for _, e := range entries {
+		perKey[e.Key]++
+		last[e.Key] = e
+	}
+	dups := 0
+	for _, n := range perKey {
+		if n > 1 {
+			dups += n - 1
+		}
+	}
+	var keys []string
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return last[keys[i]].Runtime > last[keys[j]].Runtime
+	})
+	for _, k := range keys {
+		e := last[k]
+		g := fmt.Sprintf("%-10s %s", e.Policy, e.Workload)
+		a := perGroup[g]
+		if a == nil {
+			a = &agg{}
+			perGroup[g] = a
+		}
+		a.runs++
+		a.runtime += e.Runtime
+	}
+
+	fmt.Fprintf(w, "journal %s: %d line(s), %d distinct key(s), %d duplicate line(s) (compaction would drop these)\n\n",
+		path, len(entries), len(last), dups)
+
+	var groups []string
+	for g := range perGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	fmt.Fprintf(w, "per policy/workload (last entry per key):\n")
+	fmt.Fprintf(w, "  %-24s %6s %16s\n", "policy workload", "runs", "total_cycles")
+	for _, g := range groups {
+		a := perGroup[g]
+		fmt.Fprintf(w, "  %-24s %6d %16d\n", g, a.runs, a.runtime)
+	}
+
+	n := len(keys)
+	if n > 10 {
+		n = 10
+	}
+	fmt.Fprintf(w, "\nlongest runs (a -schedule-from resume hands these out first):\n")
+	fmt.Fprintf(w, "  %14s %-10s %-10s %6s %8s\n", "runtime_cycles", "policy", "workload", "cores", "seed")
+	for _, k := range keys[:n] {
+		e := last[k]
+		fmt.Fprintf(w, "  %14d %-10s %-10s %6d %8d\n", e.Runtime, e.Policy, e.Workload, e.Cores, e.Seed)
+	}
+	return nil
 }
 
 func sortCoreIDs(ids []sim.CoreID) {

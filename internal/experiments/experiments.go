@@ -72,6 +72,16 @@ type Options struct {
 	// OnResult, when non-nil, receives each executed completed run; see
 	// sweep.Options.OnResult (called concurrently from workers).
 	OnResult func(*machine.Result)
+	// Runner, when non-nil, replaces local in-process execution for
+	// every experiment sweep; see sweep.Options.Runner. The coordinator
+	// (internal/coord) implements it, so setting Runner turns an
+	// experiment into a coordinated sweep served to a worker fleet —
+	// with identical journals and bit-identical results.
+	Runner sweep.Runner
+	// ScheduleFrom optionally names a journal from a previous sweep
+	// whose recorded runtimes order pending runs longest-first; see
+	// sweep.Options.ScheduleFrom.
+	ScheduleFrom string
 }
 
 func (o Options) scale() float64 {
@@ -216,14 +226,16 @@ func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
 		}
 	}
 	out, err := sweep.Run(cfgs, sweep.Options{
-		Journal:     o.Journal,
-		Imports:     o.Imports,
-		Shard:       o.Shard,
-		Shards:      o.Shards,
-		Parallelism: o.Parallelism,
-		Repeats:     o.Repeats,
-		Progress:    o.Progress,
-		OnResult:    o.OnResult,
+		Journal:      o.Journal,
+		Imports:      o.Imports,
+		Shard:        o.Shard,
+		Shards:       o.Shards,
+		Parallelism:  o.Parallelism,
+		Repeats:      o.Repeats,
+		Progress:     o.Progress,
+		OnResult:     o.OnResult,
+		Runner:       o.Runner,
+		ScheduleFrom: o.ScheduleFrom,
 	})
 	if err != nil {
 		return nil, err

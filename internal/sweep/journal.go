@@ -55,8 +55,11 @@ type Entry struct {
 	Run         *stats.Run `json:"run"`
 }
 
-// entryOf snapshots a completed run for the journal.
-func entryOf(key string, cfg machine.Config, res *machine.Result) Entry {
+// EntryOf snapshots a completed run for the journal. Exported so the
+// coordinator (and any other Backend client) journals results through
+// the exact encoding the sweep runner uses — the precondition for
+// merged journals being byte-comparable after compaction.
+func EntryOf(key string, cfg machine.Config, res *machine.Result) Entry {
 	return Entry{
 		Key:         key,
 		Policy:      res.PolicyName,
@@ -73,11 +76,11 @@ func entryOf(key string, cfg machine.Config, res *machine.Result) Entry {
 	}
 }
 
-// result rebuilds the machine.Result a journaled entry stands for. The
+// Result rebuilds the machine.Result a journaled entry stands for. The
 // Config is supplied by the caller (the sweep regenerates its grid, so
 // the entry need not serialize it); everything else round-trips from
 // the entry losslessly.
-func (e Entry) result(cfg machine.Config) *machine.Result {
+func (e Entry) Result(cfg machine.Config) *machine.Result {
 	return &machine.Result{
 		Config:      cfg,
 		Run:         e.Run,

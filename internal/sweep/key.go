@@ -33,11 +33,19 @@ const keyVersion = 2
 //
 // Probe and Audit are deliberately excluded: both are read-only
 // observers that never change a run's Result. Custom policy factories
-// cannot be content-hashed (a function value has no stable identity
-// across processes), so configs carrying one are rejected.
+// cannot be content-hashed directly (a function value has no stable
+// identity across processes); a factory registered via RegisterPolicy
+// hashes its registered name instead — appended to the stream only in
+// the factory case, so every built-in config's key is unchanged —
+// while unregistered factories are still rejected.
 func Key(cfg machine.Config) (string, error) {
+	factoryName := ""
 	if cfg.Policy.Factory != nil {
-		return "", fmt.Errorf("sweep: custom Policy.Factory configs cannot be content-keyed (no stable cross-process identity); use a built-in PolicyKind")
+		name, ok := RegisteredPolicyName(cfg.Policy.Factory)
+		if !ok {
+			return "", fmt.Errorf("sweep: custom Policy.Factory configs cannot be content-keyed (no stable cross-process identity); use a built-in PolicyKind or register the factory via sweep.RegisterPolicy")
+		}
+		factoryName = name
 	}
 	w := hasher{h: fnv.New64a()}
 	w.u64(keyVersion)
@@ -97,6 +105,12 @@ func Key(cfg machine.Config) (string, error) {
 	w.b(cfg.Policy.DynamicP)
 	w.u64(uint64(cfg.Policy.ScanPeriod))
 	w.i(cfg.Policy.ScanBatch)
+	if factoryName != "" {
+		// Registered custom policy: the name is its identity. Hashed
+		// only in the factory case so built-in configs keep the keys
+		// their journals were written under.
+		w.str(factoryName)
+	}
 
 	w.u64(cfg.Seed)
 

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"sort"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/sim"
+)
+
+// RuntimesByKey reads the journal at path and returns each content
+// key's recorded simulated runtime — the longest-first scheduler's
+// input. Simulated cycles are used (not wall time, which a journal
+// deliberately never records: wall clocks are nondeterministic and
+// would break byte-identity) because on one engine simulated runtime
+// is a faithful, deterministic proxy for execution cost. A missing
+// file is an empty map: scheduling hints are best-effort.
+func RuntimesByKey(path string) (map[string]sim.Cycles, error) {
+	entries, _, err := readJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]sim.Cycles, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Runtime
+	}
+	return m, nil
+}
+
+// OrderLongestFirst reorders keys and cfgs (kept aligned) so that runs
+// with known runtimes come first, longest first — the classic LPT
+// heuristic that stops one straggler from serializing the tail of a
+// parallel sweep. Runs with no recorded runtime keep their original
+// relative order after the known ones; ties keep original order too
+// (the sort is stable), so the ordering is fully deterministic.
+func OrderLongestFirst(keys []string, cfgs []machine.Config, runtimes map[string]sim.Cycles) {
+	if len(runtimes) == 0 || len(keys) < 2 {
+		return
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	known := func(i int) (sim.Cycles, bool) { c, ok := runtimes[keys[i]]; return c, ok }
+	sort.SliceStable(idx, func(a, b int) bool {
+		ca, oka := known(idx[a])
+		cb, okb := known(idx[b])
+		if oka != okb {
+			return oka // known runtimes first
+		}
+		if !oka {
+			return false // both unknown: keep original order
+		}
+		return ca > cb // longest first
+	})
+	outK := make([]string, len(keys))
+	outC := make([]machine.Config, len(cfgs))
+	for to, from := range idx {
+		outK[to] = keys[from]
+		outC[to] = cfgs[from]
+	}
+	copy(keys, outK)
+	copy(cfgs, outC)
+}

@@ -69,6 +69,42 @@ type Options struct {
 	// must not retain or mutate the Result. The telemetry server's
 	// live-snapshot feed hangs off this hook.
 	OnResult func(*machine.Result)
+	// Backend, when non-nil, replaces Journal as this sweep's journal
+	// store: completed runs Append to it and resumable runs Load from
+	// it. Journal (if also set) then contributes read-only, like an
+	// import. The caller owns the Backend's lifecycle; Run never closes
+	// a Backend it did not open itself.
+	Backend Backend
+	// Runner, when non-nil, replaces the local in-process executor: the
+	// planned runs are handed to it instead of machine.RunManyNotify.
+	// The coordinator implements Runner to dispatch runs to leased
+	// workers; everything around execution — planning, journaling,
+	// resume, sharding, the deterministic merge — is identical either
+	// way, which is what makes coordinated and local sweeps
+	// bit-comparable.
+	Runner Runner
+	// ScheduleFrom is an optional journal path whose recorded simulated
+	// runtimes order the pending runs longest-first (LPT) before
+	// execution. Runs absent from that journal keep their grid order
+	// after the known ones. Ordering never changes any result — the
+	// merge is grid-ordered — only the wall-clock shape of the sweep.
+	ScheduleFrom string
+}
+
+// Runner executes a planned batch of runs. keys[i] is cfgs[i]'s
+// content key; notify fires once per run as it completes (with either
+// a result or an error), from arbitrary goroutines. The returned slice
+// aligns with cfgs, nil for failed runs, and the returned error joins
+// per-run failures — the machine.RunManyNotify contract.
+type Runner interface {
+	Run(cfgs []machine.Config, keys []string, parallelism int, notify func(i int, res *machine.Result, err error)) ([]*machine.Result, error)
+}
+
+// localRunner is the default in-process Runner.
+type localRunner struct{}
+
+func (localRunner) Run(cfgs []machine.Config, keys []string, parallelism int, notify func(int, *machine.Result, error)) ([]*machine.Result, error) {
+	return machine.RunManyNotify(cfgs, parallelism, notify)
 }
 
 // Outcome is one sweep's merged result set plus its provenance.
@@ -133,7 +169,19 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 	// Load every journal: this process's own (resume) plus imports
 	// (other shards). Later entries win within a file; across files the
 	// first hit wins — runs are deterministic, so duplicates agree.
+	// Options.Backend, when set, is the primary store; Options.Journal
+	// then demotes to a read-only import.
 	journaled := make(map[string]Entry)
+	if opt.Backend != nil {
+		entries, skipped, err := opt.Backend.Load()
+		if err != nil {
+			return nil, err
+		}
+		out.SkippedLines += skipped
+		for _, e := range entries {
+			journaled[e.Key] = e
+		}
+	}
 	for _, path := range append([]string{opt.Journal}, opt.Imports...) {
 		if path == "" {
 			continue
@@ -156,7 +204,7 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 	var runKeys []string
 	for j, sl := range expanded {
 		if e, ok := journaled[sl.key]; ok && e.Cores == sl.cfg.Cores {
-			raw[j] = e.result(sl.cfg)
+			raw[j] = e.Result(sl.cfg)
 			out.Loaded++
 			continue
 		}
@@ -174,20 +222,37 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 		opt.Progress.NoteLoaded(out.Loaded)
 	}
 
-	// Execute, journaling each run the moment it completes: that flush
-	// is the checkpoint a killed sweep resumes from.
-	var jw *journalWriter
-	if opt.Journal != "" && len(runCfgs) > 0 {
-		var err error
-		if jw, err = openJournal(opt.Journal); err != nil {
+	// Longest-first (LPT) scheduling: when a prior journal records how
+	// long each run simulates, front-load the long ones so no straggler
+	// serializes the sweep's tail. Purely a wall-clock optimization —
+	// the merge below is grid-ordered, so results are unchanged.
+	if opt.ScheduleFrom != "" && len(runCfgs) > 1 {
+		runtimes, err := RuntimesByKey(opt.ScheduleFrom)
+		if err != nil {
 			return nil, err
 		}
+		OrderLongestFirst(runKeys, runCfgs, runtimes)
+	}
+
+	// Execute, journaling each run the moment it completes: that
+	// durable Append is the checkpoint a killed sweep resumes from.
+	// An explicit Backend is caller-owned; a Backend opened here for
+	// Options.Journal is closed here.
+	backend := opt.Backend
+	ownedBackend := false
+	if backend == nil && opt.Journal != "" && len(runCfgs) > 0 {
+		backend = NewFileBackend(opt.Journal)
+		ownedBackend = true
 	}
 	var (
 		jwMu  sync.Mutex
 		jwErr error
 	)
-	results, runErr := machine.RunManyNotify(runCfgs, opt.Parallelism, func(i int, res *machine.Result, err error) {
+	runner := opt.Runner
+	if runner == nil {
+		runner = localRunner{}
+	}
+	results, runErr := runner.Run(runCfgs, runKeys, opt.Parallelism, func(i int, res *machine.Result, err error) {
 		if opt.Progress != nil {
 			opt.Progress.NoteExecuted()
 		}
@@ -197,10 +262,10 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 		if opt.OnResult != nil {
 			opt.OnResult(res)
 		}
-		if jw == nil {
+		if backend == nil {
 			return
 		}
-		if aerr := jw.append(entryOf(runKeys[i], runCfgs[i], res)); aerr != nil {
+		if aerr := backend.Append(EntryOf(runKeys[i], runCfgs[i], res)); aerr != nil {
 			jwMu.Lock()
 			if jwErr == nil {
 				jwErr = aerr
@@ -208,13 +273,13 @@ func Run(cfgs []machine.Config, opt Options) (*Outcome, error) {
 			jwMu.Unlock()
 		}
 	})
-	if jw != nil {
-		if cerr := jw.close(); cerr != nil && jwErr == nil {
+	if ownedBackend {
+		if cerr := backend.Close(); cerr != nil && jwErr == nil {
 			jwErr = cerr
 		}
 	}
 	if jwErr != nil {
-		return nil, fmt.Errorf("sweep: journal %s: %w", opt.Journal, jwErr)
+		return nil, fmt.Errorf("sweep: journaling: %w", jwErr)
 	}
 	out.Executed = len(runCfgs)
 
