@@ -6,6 +6,15 @@
 //	cmcpsim -exp fig7 -scale 0.25    # one experiment, smaller/faster
 //	cmcpsim -exp table1 -csv         # machine-readable output
 //
+// Extension experiments (beyond the paper) run by ID:
+//
+//	cmcpsim -exp numa                      # 2-socket shootdown-filtering grid
+//	cmcpsim -exp tenants -tenants 64 -zipf-s 1.2 -churn 500
+//
+// Multi-socket single runs:
+//
+//	cmcpsim -run -cores 60 -sockets 2 -policy CMCP
+//
 // Long sweeps checkpoint to a journal (resume after a crash picks up
 // where it left off) and can be split across processes by shard:
 //
@@ -91,7 +100,7 @@ func startTelemetry(sopt serveOptions, progress *cmcp.SweepProgress) (*cmcp.Tele
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to regenerate: fig6|fig7|fig8|fig9|fig10|table1|sense|all")
+		exp      = flag.String("exp", "", "experiment to regenerate: fig6|fig7|fig8|fig9|fig10|table1|sense|all, or an extension: numa|tenants")
 		engine   = flag.String("engine", "serial", "simulation engine: serial|parallel (bit-identical results; parallel is faster)")
 		quick    = flag.Bool("quick", false, "shrink sweeps (fewer core counts and ratio points)")
 		scale    = flag.Float64("scale", 1.0, "workload footprint/work multiplier")
@@ -128,9 +137,11 @@ func main() {
 		tables   = flag.String("tables", "pspt", "page tables: pspt|regular")
 		pageSize = flag.String("pagesize", "4k", "page size: 4k|64k|2m|adaptive")
 
-		tenants = flag.Int("tenants", 0, "with -run: simulate N tenant address spaces contending for the frame pool (0 = single-tenant -workload run)")
+		tenants = flag.Int("tenants", 0, "with -run or -exp tenants: simulate N tenant address spaces contending for the frame pool (0 = single-tenant -workload run)")
 		zipfS   = flag.Float64("zipf-s", 1.1, "with -tenants: Zipfian tenant-popularity exponent (higher = more skew)")
 		churn   = flag.Int("churn", 0, "with -tenants: rotate the hot tenant set every N touches per core (0 = no churn)")
+
+		sockets = flag.Int("sockets", 1, "with -run or -exp: NUMA sockets; cores spread evenly across per-socket IPI rings (1 = flat ring, bit-identical to pre-NUMA builds)")
 
 		faultRate = flag.Float64("fault-rate", 0, "with -run or -exp: per-event device fault injection rate for every fault kind (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "with -run or -exp: fault injector seed (independent of -seed)")
@@ -196,7 +207,7 @@ func main() {
 		}
 	case *run:
 		topt := traceOptions{enabled: *traceFlag, out: *traceOut, sampleEvery: *sampleEvery}
-		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, eng, faults, topt, *histFlag, sopt, *tenants, *zipfS, *churn); err != nil {
+		if err := runOne(*wlName, *cores, *ratio, *polName, *p, *dynamicP, *tables, *pageSize, *scale, *seed, eng, faults, topt, *histFlag, sopt, *tenants, *zipfS, *churn, *sockets); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -218,6 +229,21 @@ func main() {
 			Engine:       eng,
 			Hist:         *histFlag,
 			ScheduleFrom: *scheduleFrom,
+		}
+		// -tenants used to be silently ignored under -exp (the same bug
+		// class -fault-rate once had): the spec is threaded through the
+		// options, and experiments that cannot honor it fail loudly.
+		if *tenants > 0 {
+			spec := cmcp.DefaultTenantSpec(*tenants, *zipfS, *churn)
+			if *scale != 1.0 {
+				spec.TotalTouches = int(float64(spec.TotalTouches) * *scale)
+			}
+			o.Tenants = &spec
+		}
+		if *sockets > 1 {
+			// Seats per socket are re-derived per grid point (the grids
+			// sweep core counts); only the socket count and costs matter.
+			o.Topology = cmcp.DefaultTopology(*sockets, 1)
 		}
 		if shardCount > 1 && *journal == "" {
 			fatal(fmt.Errorf("-shard requires -journal: a shard's only output is its journal"))
@@ -398,7 +424,7 @@ func runExperiments(id string, o cmcp.ExperimentOptions, csv, plotCharts, progre
 	return nil
 }
 
-func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, eng cmcp.EngineKind, faults *cmcp.FaultConfig, topt traceOptions, hist bool, sopt serveOptions, tenants int, zipfS float64, churn int) error {
+func runOne(wlName string, cores int, ratio float64, polName string, p float64, dynamicP bool, tables, pageSize string, scale float64, seed uint64, eng cmcp.EngineKind, faults *cmcp.FaultConfig, topt traceOptions, hist bool, sopt serveOptions, tenants int, zipfS float64, churn int, sockets int) error {
 	srv, stopSrv, err := startTelemetry(sopt, nil)
 	if err != nil {
 		return err
@@ -444,6 +470,10 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 	if topt.enabled || topt.sampleEvery > 0 {
 		rec = cmcp.NewRecorder(cmcp.RecorderConfig{SampleEvery: cmcp.Cycles(topt.sampleEvery)})
 	}
+	var topo *cmcp.Topology
+	if sockets > 1 {
+		topo = cmcp.DefaultTopology(sockets, (cores+sockets-1)/sockets)
+	}
 	res, err := cmcp.Simulate(cmcp.Config{
 		Cores:            cores,
 		Workload:         wl,
@@ -458,6 +488,7 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		Probe:            rec,
 		Faults:           faults,
 		Hist:             hist,
+		Topology:         topo,
 	})
 	if err != nil {
 		return err
@@ -488,6 +519,12 @@ func runOne(wlName string, cores int, ratio float64, polName string, p float64, 
 		float64(r.Total(cmcp.BytesIn))/1e6, float64(r.Total(cmcp.BytesOut))/1e6)
 	if res.Sharing != nil {
 		fmt.Printf("sharing       %v (pages by core-map count 0..n)\n", res.Sharing[:min(9, len(res.Sharing))])
+	}
+	if topo != nil {
+		fmt.Printf("numa          %s topology; %d cross-socket IPIs, %d shootdown targets filtered, %d remote walks, %d remote PT consults, %d replica syncs, %d PT migrations\n",
+			topo, r.Total(cmcp.CrossSocketIPIs), r.Total(cmcp.FilteredShootdowns),
+			r.Total(cmcp.RemoteWalks), r.Total(cmcp.RemotePTConsults),
+			r.Total(cmcp.ReplicaSyncs), r.Total(cmcp.PTMigrations))
 	}
 	if faults != nil {
 		fmt.Printf("faults        %d injected; recovered via %d retries, %d rollbacks, %d resent IPIs; %d frames quarantined, %d pages degraded\n",

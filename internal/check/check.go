@@ -47,7 +47,7 @@ type Config struct {
 // Violation is one detected invariant breach.
 type Violation struct {
 	// Module names the bookkeeping layer at fault: "residency", "tlb",
-	// "pspt", "policy", "adaptive" or "tenant".
+	// "pspt", "policy", "adaptive", "tenant" or "numa".
 	Module string
 	// Detail says what disagreed with what.
 	Detail string
@@ -154,6 +154,7 @@ func (a *Auditor) Audit(m *vm.Manager) {
 	a.auditPolicy(m)
 	a.auditAdaptive(m)
 	a.auditTenants(m)
+	a.auditReplicas(m)
 }
 
 // auditResidency checks the first-order agreement: the mappings the
@@ -341,6 +342,42 @@ func (a *Auditor) auditAdaptive(m *vm.Manager) {
 	}
 	compare("resInBlock", blocks, expB)
 	compare("resInGroup", groups, expG)
+}
+
+// auditReplicas checks the NUMA page-table replica bookkeeping on
+// multi-socket PSPT runs: a mapping's replica set must cover the
+// socket of every core holding a PTE for it (a walk through a core's
+// private table is by construction socket-local, so a missing replica
+// bit would mean the model charged a crossing that cannot happen), its
+// home socket must be a valid domain and hold the set non-empty when
+// any core maps the region. The replica set may exceed the minimal
+// cover — consults materialize replicas ahead of PTE copies — which
+// only over-approximates locality, never understates a crossing.
+func (a *Auditor) auditReplicas(m *vm.Manager) {
+	topo := m.Topology()
+	if !topo.Multi() {
+		return
+	}
+	p, ok := m.PSPT()
+	if !ok {
+		return
+	}
+	p.ForEachMapping(func(mp *pspt.Mapping) {
+		if h := int(mp.Home); h < 0 || h >= topo.Sockets {
+			a.report("numa", "page %d: home socket %d outside topology %s", mp.Base, h, topo)
+		}
+		var cores []sim.CoreID
+		cores = mp.Cores.Cores(cores)
+		for _, c := range cores {
+			if s := topo.SocketOf(c); !mp.Replicas.Has(s) {
+				a.report("numa", "page %d: core %d (socket %d) holds a PTE but replica set %b misses its socket",
+					mp.Base, c, s, mp.Replicas)
+			}
+		}
+		if len(cores) > 0 && mp.Replicas.Count() == 0 {
+			a.report("numa", "page %d: %d cores map it but the replica set is empty", mp.Base, len(cores))
+		}
+	})
 }
 
 // auditTenants cross-checks the multi-tenant frame-ownership table

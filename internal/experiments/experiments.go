@@ -82,6 +82,43 @@ type Options struct {
 	// whose recorded runtimes order pending runs longest-first; see
 	// sweep.Options.ScheduleFrom.
 	ScheduleFrom string
+	// Tenants, when non-nil, selects the multi-tenant serving workload
+	// for experiments that support it (TenantGrid). The paper-figure
+	// experiments model one HPC application per machine and reject a
+	// tenant spec loudly — cmcpsim used to silently drop -tenants under
+	// -exp, the same bug class -fault-rate once had.
+	Tenants *workload.TenantSpec
+	// Topology, when non-nil, attaches a NUMA topology to every
+	// generated run config (machine.Config.Topology), so whole grids
+	// run multi-socket. Its Sockets and cost fields are taken as given;
+	// CoresPerSocket is re-derived per grid point so every run's cores
+	// spread evenly across the sockets (the grids sweep core counts).
+	// The Numa experiment builds its own 2-socket topology and rejects
+	// a caller-supplied one.
+	Topology *sim.Topology
+}
+
+// topologyFor shapes Options.Topology to one grid point's core count:
+// the socket count and costs are the caller's, the seats per socket
+// follow the machine size. Nil stays nil (flat, bit-identical).
+func (o Options) topologyFor(cores int) *sim.Topology {
+	if o.Topology == nil {
+		return nil
+	}
+	t := *o.Topology
+	t.CoresPerSocket = (cores + t.Sockets - 1) / t.Sockets
+	return &t
+}
+
+// rejectTenants errors when a tenant spec was supplied to an experiment
+// that models a single HPC application — the loud-failure half of the
+// "-tenants under -exp" contract (TenantGrid is the experiment that
+// accepts the spec).
+func (o Options) rejectTenants(id string) error {
+	if o.Tenants != nil {
+		return fmt.Errorf("experiments: %s models a single application and ignores tenant specs; use the \"tenants\" experiment for multi-tenant grids", id)
+	}
+	return nil
 }
 
 func (o Options) scale() float64 {
@@ -174,6 +211,7 @@ func (o Options) baseConfig(spec workload.Spec, cores int) machine.Config {
 		Policy:      machine.PolicySpec{Kind: machine.FIFO, P: -1},
 		Seed:        o.Seed,
 		Faults:      o.Faults,
+		Topology:    o.topologyFor(cores),
 	}
 }
 
@@ -248,8 +286,12 @@ func (o Options) run(cfgs []machine.Config) ([]*machine.Result, error) {
 	return out.Results, nil
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order (the paper figures; the
+// extension experiments "numa" and "tenants" run only by ID).
 func All(o Options) ([]*Report, error) {
+	if err := o.rejectTenants("all"); err != nil {
+		return nil, err
+	}
 	var reports []*Report
 	for _, f := range []func(Options) (*Report, error){Fig6, Fig8, Fig7, Table1, Fig9, Fig10, Sensitivity} {
 		r, err := f(o)
@@ -278,7 +320,11 @@ func ByID(id string, o Options) (*Report, error) {
 		return Table1(o)
 	case "sense", "sensitivity":
 		return Sensitivity(o)
+	case "numa":
+		return Numa(o)
+	case "tenants":
+		return TenantGrid(o)
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (fig6..fig10, table1, sense)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (fig6..fig10, table1, sense, numa, tenants)", id)
 	}
 }

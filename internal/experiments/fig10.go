@@ -21,6 +21,9 @@ import (
 // TLB advantage is visible above 1.0 at full memory. A fourth series
 // reports the adaptive per-region size manager (§5.7 future work).
 func Fig10(o Options) (*Report, error) {
+	if err := o.rejectTenants("fig10"); err != nil {
+		return nil, err
+	}
 	cores := o.maxCores()
 	rep := &Report{
 		ID:    "fig10",

@@ -18,6 +18,9 @@ import (
 // the remainder almost all mapped by two cores; LU and BT spread up to
 // ~6-8 cores with over half mapped by at most three.
 func Fig6(o Options) (*Report, error) {
+	if err := o.rejectTenants("fig6"); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		ID:    "fig6",
 		Title: "Distribution of pages by number of mapping CPU cores (PSPT, 4kB pages)",

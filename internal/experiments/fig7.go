@@ -52,6 +52,9 @@ func cmcpP(name string) float64 {
 // beating FIFO at 56 cores by roughly 38 % (BT), 25 % (LU), 23 % (CG)
 // and 13 % (SCALE).
 func Fig7(o Options) (*Report, error) {
+	if err := o.rejectTenants("fig7"); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		ID:    "fig7",
 		Title: "Runtime vs CPU cores: page tables x replacement policies (4kB pages)",

@@ -16,6 +16,9 @@ import (
 // and SCALE to ~55 % (their sparse/hot data representations), after
 // which performance falls steadily.
 func Fig8(o Options) (*Report, error) {
+	if err := o.rejectTenants("fig8"); err != nil {
+		return nil, err
+	}
 	cores := o.maxCores()
 	rep := &Report{
 		ID:    "fig8",

@@ -15,6 +15,9 @@ import (
 // from a low ratio, LU and SCALE from a high one — and a badly chosen p
 // degrades the improvement substantially.
 func Fig9(o Options) (*Report, error) {
+	if err := o.rejectTenants("fig9"); err != nil {
+		return nil, err
+	}
 	cores := o.maxCores()
 	rep := &Report{
 		ID:    "fig9",

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmcp/internal/machine"
+	"cmcp/internal/sim"
+	"cmcp/internal/stats"
+	"cmcp/internal/vm"
+)
+
+// numaConfig is one line of the NUMA comparison grid.
+type numaConfig struct {
+	label  string
+	tables vm.TableKind
+	policy machine.PolicySpec
+}
+
+// numaLines pairs each page-table kind with the policies the paper
+// compares, so the grid isolates what PSPT's precise core maps buy on a
+// multi-socket machine: regular shared tables must broadcast shootdowns
+// to every core (crossing the socket boundary for each remote one),
+// while PSPT's per-core tables filter the target set down to actual
+// mappers.
+func numaLines() []numaConfig {
+	return []numaConfig{
+		{label: "regular PT + LRU", tables: vm.RegularPT, policy: machine.PolicySpec{Kind: machine.LRU}},
+		{label: "regular PT + CLOCK", tables: vm.RegularPT, policy: machine.PolicySpec{Kind: machine.CLOCK}},
+		{label: "PSPT + CLOCK", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.CLOCK}},
+		{label: "PSPT + LRU", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.LRU}},
+		{label: "PSPT + CMCP", tables: vm.PSPTKind, policy: machine.PolicySpec{Kind: machine.CMCP, P: -1}},
+	}
+}
+
+// Numa is the multi-socket extension experiment (not a paper figure):
+// every workload runs on a two-socket topology under each line of
+// numaLines, and the table reports runtime plus the cross-socket
+// interconnect traffic — cross-socket IPIs, shootdowns filtered by the
+// PSPT core map, and remote TLB invalidations received — with a final
+// column giving the cross-socket IPI reduction of PSPT+CMCP relative to
+// the regular-table baseline with the same policy (LRU). The expected
+// shape: PSPT filters the broadcast down to the mapping cores, so its
+// cross-socket IPI count drops by the fraction of cores that never
+// mapped the evicted pages, while regular tables pay the full
+// all-cores broadcast on every eviction.
+func Numa(o Options) (*Report, error) {
+	if err := o.rejectTenants("numa"); err != nil {
+		return nil, err
+	}
+	if o.Topology != nil {
+		return nil, fmt.Errorf("experiments: numa builds its own 2-socket topology; -sockets cannot override it")
+	}
+	cores := 60
+	if o.Quick {
+		cores = 8
+	}
+	topo := sim.DefaultTopology(2, cores/2)
+	rep := &Report{
+		ID:    "numa",
+		Title: fmt.Sprintf("NUMA extension: cross-socket shootdown traffic on a %s topology (%d cores)", topo, cores),
+	}
+	lines := numaLines()
+	for _, spec := range o.apps() {
+		var cfgs []machine.Config
+		for _, ln := range lines {
+			cfg := o.baseConfig(spec, cores)
+			cfg.Tables = ln.tables
+			cfg.Policy = ln.policy
+			if cfg.Policy.Kind == machine.CMCP {
+				cfg.Policy.P = cmcpP(spec.Name)
+			}
+			cfg.Topology = topo
+			cfgs = append(cfgs, cfg)
+		}
+		results, err := o.run(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		tab := &stats.Table{
+			Title:   fmt.Sprintf("Numa %s: runtime and cross-socket traffic (2 sockets)", spec.Name),
+			Columns: []string{"runtime (Mcyc)", "cross-socket IPIs", "filtered shootdowns", "remote TLB inv", "x-socket IPI vs regular LRU"},
+		}
+		var regularLRU uint64
+		for i, ln := range lines {
+			if ln.label == "regular PT + LRU" {
+				regularLRU = results[i].Run.Total(stats.CrossSocketIPIs)
+			}
+		}
+		for i, ln := range lines {
+			r := results[i]
+			xIPI := r.Run.Total(stats.CrossSocketIPIs)
+			redux := "n/a"
+			if regularLRU > 0 {
+				redux = fmt.Sprintf("%+.1f%%", 100*(float64(xIPI)-float64(regularLRU))/float64(regularLRU))
+			}
+			tab.AddRow(ln.label,
+				fmt.Sprintf("%.1f", float64(r.Runtime)/1e6),
+				xIPI,
+				r.Run.Total(stats.FilteredShootdowns),
+				r.Run.Total(stats.RemoteTLBInvalidations),
+				redux)
+		}
+		rep.Tables = append(rep.Tables, tab)
+	}
+	return rep, nil
+}

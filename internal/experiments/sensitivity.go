@@ -16,6 +16,9 @@ import (
 // values, the reproduction's conclusions do not hinge on the exact
 // calibration — the paper's argument is structural, not numeric.
 func Sensitivity(o Options) (*Report, error) {
+	if err := o.rejectTenants("sense"); err != nil {
+		return nil, err
+	}
 	cores := o.maxCores()
 	rep := &Report{
 		ID:    "sense",

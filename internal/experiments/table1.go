@@ -18,6 +18,9 @@ import (
 // issuing the fewest remote invalidations; dTLB misses are roughly
 // policy-independent (they stem mostly from TLB capacity).
 func Table1(o Options) (*Report, error) {
+	if err := o.rejectTenants("table1"); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		ID:    "table1",
 		Title: "Per-core average page faults, remote TLB invalidations, dTLB misses",

@@ -175,6 +175,15 @@ type Config struct {
 	// MapSkew injection with an auditor under PSPT); those fall back to
 	// the serial engine silently, identity preserved by construction.
 	Engine EngineKind
+	// Topology, when non-nil and multi-socket, models the machine as
+	// sockets × cores-per-socket NUMA domains: per-socket IPI rings
+	// joined by a priced interconnect, per-domain page-walk costs,
+	// numaPTE-style per-socket page-table replicas under PSPT, and
+	// cross-socket shootdown accounting (see DESIGN.md §16). Plain data
+	// like Faults: safe to share across concurrent runs and to journal
+	// in sweeps. Nil (or a single socket) leaves every run bit-identical
+	// to before the field existed — the flat single-ring KNC model.
+	Topology *sim.Topology
 }
 
 // Result is one run's outcome.
@@ -408,6 +417,9 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		// policies never miss a deadline by more than half a period.
 		cfg.TickInterval = 25_000
 	}
+	if err := cfg.Topology.Validate(cfg.Cores); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
 	var (
 		totalPages int
 		warmupFn   func() []workload.Stream
@@ -480,6 +492,7 @@ func simulate(cfg Config, sc *dense.Scratch) (*Result, error) {
 		Scratch:  sc,
 		Hist:     cfg.Hist,
 		Tenants:  vmTenants,
+		Topology: cfg.Topology,
 
 		PSPTRebuildPeriod: cfg.PSPTRebuildPeriod,
 		Probe:             cfg.Probe,

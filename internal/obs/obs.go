@@ -74,6 +74,13 @@ const (
 	// EvDegraded is a page demoted to regular-table semantics after the
 	// auditor repaired its core set.
 	EvDegraded
+	// EvPTMigration is a hot page-table page re-homed to the accessing
+	// socket after a streak of remote consults; Arg is the new home
+	// socket.
+	EvPTMigration
+	// EvReplicaSync is a page-table replica synchronization on PTE
+	// teardown; Arg is the number of remote sockets synchronized.
+	EvReplicaSync
 
 	numEventTypes
 )
@@ -101,6 +108,8 @@ var eventNames = [numEventTypes]string{
 	"lock_stuck",
 	"pspt_skew",
 	"page_degraded",
+	"pt_migration",
+	"replica_sync",
 }
 
 // String returns the snake_case event name.

@@ -53,16 +53,40 @@ func (s CoreSet) Cores(dst []sim.CoreID) []sim.CoreID {
 	return dst
 }
 
+// SocketSet is a bitmap of NUMA socket IDs (Topology caps Sockets at
+// 32, so one word suffices).
+type SocketSet uint32
+
+// Add sets socket s's bit.
+func (ss *SocketSet) Add(s int) { *ss |= 1 << uint(s) }
+
+// Has reports whether socket s's bit is set.
+func (ss SocketSet) Has(s int) bool { return ss&(1<<uint(s)) != 0 }
+
+// Count returns the number of sockets in the set.
+func (ss SocketSet) Count() int { return bits.OnesCount32(uint32(ss)) }
+
 // Mapping is the bookkeeping record for one mapped region of the
 // computation area: its size class, base physical frame, the set of
 // cores holding a private PTE for it, and the per-page lock used to
 // model fine-grained synchronization in virtual time.
+//
+// Under a multi-socket topology the record also carries the numaPTE
+// state for the page-table page backing this region: which sockets
+// hold a replica (Replicas), which socket the authoritative copy is
+// homed on (Home), and how many consecutive consults arrived from a
+// non-home socket (RemoteStreak — the migration trigger). All three
+// stay zero on flat runs.
 type Mapping struct {
 	Base  sim.PageID // size-aligned virtual base page
 	Size  sim.PageSize
 	PFN   int64
 	Cores CoreSet
 	Lock  sim.Resource
+
+	Replicas     SocketSet // sockets holding a page-table replica
+	Home         int8      // socket owning the authoritative copy
+	RemoteStreak uint8     // consecutive consults from one remote socket
 }
 
 // PSPT is the per-core partially separated page table set for one
@@ -76,6 +100,8 @@ type PSPT struct {
 	store  dense.Store[Mapping]
 	idx    dense.Index // base VPN -> store handle
 	count  int         // live mapping records
+
+	topo *sim.Topology // nil on flat runs: no replica bookkeeping
 
 	unmapOut   Mapping      // reusable Unmap return record
 	rebuildOut []sim.CoreID // reusable Rebuild target buffer
@@ -99,6 +125,15 @@ func NewSized(n, pages int, sc *dense.Scratch) *PSPT {
 
 // Cores returns the number of application cores.
 func (p *PSPT) Cores() int { return p.n }
+
+// SetTopology attaches the machine topology, enabling per-socket
+// page-table replica bookkeeping on every subsequent Map/CopyFromSibling.
+// A nil or single-socket topology keeps the flat behavior (no replica
+// state is ever written), preserving bit-identity.
+func (p *PSPT) SetTopology(t *sim.Topology) { p.topo = t }
+
+// Topology returns the attached topology (nil on flat runs).
+func (p *PSPT) Topology() *sim.Topology { return p.topo }
 
 // Table exposes core's private table (tests and the scanner use it).
 func (p *PSPT) Table(core sim.CoreID) *pagetable.Table { return p.tables[core] }
@@ -180,6 +215,7 @@ func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int6
 		return nil, false, fmt.Errorf("pspt: Map base %d not %v aligned", base, size)
 	}
 	var m *Mapping
+	fresh := false
 	if h := p.idx.Get(base); h >= 0 {
 		m = p.store.At(h)
 		if m.Size != size || m.PFN != pfn {
@@ -195,6 +231,7 @@ func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int6
 		m.Base, m.Size, m.PFN = base, size, pfn
 		p.idx.Set(base, h)
 		p.count++
+		fresh = true
 	}
 	if err := p.setInTable(core, base, size, pfn, flags); err != nil {
 		if m.Cores.Count() == 0 {
@@ -204,6 +241,16 @@ func (p *PSPT) Map(core sim.CoreID, base sim.PageID, size sim.PageSize, pfn int6
 	}
 	first := m.Cores.Count() == 0
 	m.Cores.Add(core)
+	if p.topo.Multi() {
+		s := p.topo.SocketOf(core)
+		if fresh {
+			// Brand-new mapping: the page-table page is created on the
+			// first mapper's socket. A record that survived a Rebuild
+			// keeps its Home — only the replicas were dropped.
+			m.Home, m.Replicas, m.RemoteStreak = int8(s), 0, 0
+		}
+		m.Replicas.Add(s)
+	}
 	return m, first, nil
 }
 
@@ -227,7 +274,41 @@ func (p *PSPT) CopyFromSibling(core sim.CoreID, vpn sim.PageID, flags pagetable.
 		return nil, err
 	}
 	m.Cores.Add(core)
+	if p.topo.Multi() {
+		m.Replicas.Add(p.topo.SocketOf(core))
+	}
 	return m, nil
+}
+
+// NoteConsult records one sibling-table consult from the given socket
+// against the mapping covering vpn, implementing the numaPTE placement
+// protocol: remote reports whether the consult had to cross the
+// interconnect (no replica on the consulting socket yet — the caller
+// charges RemoteWalkExtra), and migrated reports whether this consult
+// tripped the migration threshold and re-homed the page-table page to
+// the consulting socket (the caller charges MigrateCost). The replica
+// set then includes the consulting socket either way: a consult
+// materializes a local replica, which is exactly the behavior whose
+// cost numaPTE amortizes.
+func (p *PSPT) NoteConsult(vpn sim.PageID, socket, threshold int) (remote, migrated bool) {
+	m := p.Mapping(vpn)
+	if m == nil {
+		return false, false
+	}
+	remote = !m.Replicas.Has(socket)
+	if int(m.Home) == socket {
+		m.RemoteStreak = 0
+	} else {
+		if m.RemoteStreak < 255 {
+			m.RemoteStreak++
+		}
+		if threshold > 0 && int(m.RemoteStreak) >= threshold {
+			m.Home, m.RemoteStreak = int8(socket), 0
+			migrated = true
+		}
+	}
+	m.Replicas.Add(socket)
+	return remote, migrated
 }
 
 // Unmap removes the mapping covering vpn from every core's table and
@@ -381,6 +462,16 @@ func (p *PSPT) ResyncCores(vpn sim.PageID) bool {
 	}
 	changed := rebuilt != m.Cores
 	m.Cores = rebuilt
+	if p.topo.Multi() {
+		// Replicas must stay a superset of the mapping cores' sockets;
+		// recompute the minimal set from the rebuilt population.
+		var rs SocketSet
+		var cores []sim.CoreID
+		for _, c := range rebuilt.Cores(cores) {
+			rs.Add(p.topo.SocketOf(c))
+		}
+		m.Replicas = rs
+	}
 	return changed
 }
 
@@ -414,6 +505,9 @@ func (p *PSPT) Rebuild(fn func(base sim.PageID, targets []sim.CoreID)) {
 			p.clearInTable(c, m.Base, m.Size)
 		}
 		m.Cores = CoreSet{}
+		// Dropping every private PTE drops the replicas too; Home stays
+		// (the authoritative copy survives a rebuild).
+		m.Replicas, m.RemoteStreak = 0, 0
 		if fn != nil {
 			fn(m.Base, scratch)
 		}

@@ -1,0 +1,113 @@
+package sim
+
+import "fmt"
+
+// Topology describes a multi-socket machine: Sockets rings of
+// CoresPerSocket cores each, joined by a cross-socket interconnect.
+// A nil *Topology (the default everywhere) means the original flat
+// single-ring KNC model, and every cost routine below degrades to the
+// flat formulas exactly — nil-Topology runs are bit-identical to
+// builds that predate this type, which is what the single-socket
+// golden guard pins.
+//
+// The cost asymmetries are deliberately coarse (one interconnect
+// charge per crossing, one extra-walk charge per remote table touch):
+// the goal is TPP-style per-domain asymmetry in the model, not a
+// cycle-accurate fabric.
+type Topology struct {
+	// Sockets is the number of NUMA domains (>= 1).
+	Sockets int
+	// CoresPerSocket is the ring size inside each domain. The flat
+	// model's ring of n cores becomes Sockets rings of CoresPerSocket.
+	CoresPerSocket int
+
+	// CrossSocketIPI is the extra delivery cost, in cycles, charged
+	// once per IPI that crosses the interconnect.
+	CrossSocketIPI Cycles
+	// RemoteWalkExtra is the extra page-walk cost charged when a walk
+	// must read a page table homed on another socket (regular shared
+	// tables live on socket 0; PSPT consults during sibling resolution
+	// charge it when the mapping's replica set misses the socket).
+	RemoteWalkExtra Cycles
+	// ReplicaSync is the per-remote-socket cost of synchronizing
+	// page-table replicas on a PTE update (unmap/eviction).
+	ReplicaSync Cycles
+	// MigrateCost is the one-time cost of migrating a hot page-table
+	// page to the accessing socket.
+	MigrateCost Cycles
+	// MigrateThreshold is how many consecutive remote consults from
+	// one socket re-home a page-table page there (<= 0 disables
+	// migration).
+	MigrateThreshold int
+}
+
+// DefaultTopology returns a Topology with the repo's standard NUMA
+// cost constants. The defaults keep the intra-socket numbers identical
+// to the flat CostModel and add interconnect charges in the same
+// ballpark as the numaPTE paper's remote/local ratios (~3-4x walks,
+// interconnect comparable to a local IPI delivery).
+func DefaultTopology(sockets, coresPerSocket int) *Topology {
+	return &Topology{
+		Sockets:          sockets,
+		CoresPerSocket:   coresPerSocket,
+		CrossSocketIPI:   600,
+		RemoteWalkExtra:  180,
+		ReplicaSync:      250,
+		MigrateCost:      3000,
+		MigrateThreshold: 4,
+	}
+}
+
+// Multi reports whether t describes more than one NUMA domain. Safe on
+// nil: a nil Topology is the flat single-socket model.
+func (t *Topology) Multi() bool {
+	return t != nil && t.Sockets > 1
+}
+
+// SocketOf maps a core (including the scanner core, whose ID is one
+// past the booked cores) to its NUMA domain. Cores are numbered
+// contiguously across sockets: cores [0, CoresPerSocket) on socket 0,
+// and so on. IDs past the last socket's range (the scanner core on a
+// fully-populated topology) clamp to the last socket.
+func (t *Topology) SocketOf(c CoreID) int {
+	if !t.Multi() {
+		return 0
+	}
+	s := int(c) / t.CoresPerSocket
+	if s >= t.Sockets {
+		s = t.Sockets - 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Validate checks a topology against the run's core count.
+func (t *Topology) Validate(cores int) error {
+	if t == nil {
+		return nil
+	}
+	if t.Sockets < 1 {
+		return fmt.Errorf("sim: Topology.Sockets must be >= 1 (got %d)", t.Sockets)
+	}
+	if t.Sockets > 32 {
+		return fmt.Errorf("sim: Topology.Sockets must be <= 32 (got %d)", t.Sockets)
+	}
+	if t.CoresPerSocket < 1 {
+		return fmt.Errorf("sim: Topology.CoresPerSocket must be >= 1 (got %d)", t.CoresPerSocket)
+	}
+	if t.Sockets*t.CoresPerSocket < cores {
+		return fmt.Errorf("sim: topology %dx%d holds %d cores, run needs %d",
+			t.Sockets, t.CoresPerSocket, t.Sockets*t.CoresPerSocket, cores)
+	}
+	return nil
+}
+
+// String renders the topology as "SxC" for labels and journals.
+func (t *Topology) String() string {
+	if t == nil {
+		return "flat"
+	}
+	return fmt.Sprintf("%dx%d", t.Sockets, t.CoresPerSocket)
+}

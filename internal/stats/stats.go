@@ -71,6 +71,28 @@ const (
 	// DegradedPages counts pages demoted to regular-table semantics
 	// after the auditor repaired injected PSPT core-set skew.
 	DegradedPages
+	// FilteredShootdowns counts cores skipped by PSPT's precise
+	// shootdown target set relative to a full broadcast — the numaPTE
+	// benefit PSPT's core map subsumes. Zero on flat (single-socket)
+	// runs and under regular shared tables (which must broadcast).
+	FilteredShootdowns
+	// CrossSocketIPIs counts eviction shootdown IPIs that crossed the
+	// NUMA interconnect. Zero on flat runs.
+	CrossSocketIPIs
+	// RemoteWalks counts page-table walks that had to read a table
+	// homed on another socket (regular shared tables live on socket 0).
+	RemoteWalks
+	// RemotePTConsults counts PSPT sibling-table consults that crossed
+	// the interconnect because no page-table replica existed on the
+	// faulting core's socket yet.
+	RemotePTConsults
+	// ReplicaSyncs counts per-remote-socket page-table replica
+	// synchronizations charged on PTE teardown (evictions under PSPT
+	// with a multi-socket topology).
+	ReplicaSyncs
+	// PTMigrations counts hot page-table pages re-homed to the
+	// accessing socket after a streak of remote consults.
+	PTMigrations
 
 	numCounters
 )
@@ -96,6 +118,12 @@ var counterNames = [numCounters]string{
 	"quarantined_frames",
 	"resent_shootdowns",
 	"degraded_pages",
+	"filtered_shootdowns",
+	"cross_socket_ipis",
+	"remote_walks",
+	"remote_pt_consults",
+	"replica_syncs",
+	"pt_migrations",
 }
 
 // NumCounters is the number of distinct counters.
@@ -146,6 +174,10 @@ const (
 	// FanoutHist is the number of target cores of one TLB-shootdown
 	// broadcast (eviction, scanner clear, or PSPT rebuild).
 	FanoutHist
+	// CrossSocketFanoutHist is the number of distinct remote sockets
+	// one eviction shootdown reached (recorded only on multi-socket
+	// topologies; zero-target shootdowns do not record).
+	CrossSocketFanoutHist
 
 	numHists
 )
@@ -163,6 +195,7 @@ var histNames = [numHists]string{
 	"shootdown_rtt_cycles",
 	"lock_wait_latency_cycles",
 	"shootdown_fanout_cores",
+	"cross_socket_fanout_sockets",
 }
 
 // HistNames returns the snake_case names of all histograms in index

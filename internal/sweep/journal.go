@@ -19,15 +19,18 @@ import (
 // tables in force when it was written; every later line is one
 // completed run. v2 added the histogram table (and histogram payloads
 // inside Run records); v3 added multi-tenant machines (per-tenant
-// records inside Run, tenant fields in the content key). Stale
-// schemas are rejected: their runs predate fields the keys now select.
-const Schema = "cmcp-sweep/v3"
+// records inside Run, tenant fields in the content key); v4 added the
+// NUMA topology (new counters and a histogram in Run, topology fields
+// in the content key). Stale schemas are rejected: their runs predate
+// fields the keys now select.
+const Schema = "cmcp-sweep/v4"
 
 // staleSchemas are schemas this build once wrote and now refuses, so
 // the rejection can say "outdated" rather than "not a journal".
 var staleSchemas = map[string]bool{
 	"cmcp-sweep/v1": true,
 	"cmcp-sweep/v2": true,
+	"cmcp-sweep/v3": true,
 }
 
 // header is the journal's first line.
@@ -117,7 +120,7 @@ func ReadJournalLenient(r io.Reader) (entries []Entry, skipped int, err error) {
 	var h header
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Schema != Schema {
 		if err == nil && staleSchemas[h.Schema] {
-			return nil, 0, fmt.Errorf("sweep: journal schema %q is outdated; this build writes %q (multi-tenant fields joined the content key, so pre-tenant entries can never satisfy current sweeps) — start a fresh journal", h.Schema, Schema)
+			return nil, 0, fmt.Errorf("sweep: journal schema %q is outdated; this build writes %q (the content key and Run payload have since grown fields — tenants in v3, NUMA topology in v4 — so older entries can never satisfy current sweeps) — start a fresh journal", h.Schema, Schema)
 		}
 		return nil, 0, fmt.Errorf("sweep: journal header missing or not %q (corrupt first line, or not a sweep journal)", Schema)
 	}

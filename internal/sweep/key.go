@@ -146,6 +146,21 @@ func Key(cfg machine.Config) (string, error) {
 		w.b(false)
 	}
 
+	// Topology changes costs and counters, so it must key separately —
+	// but it is hashed only when present (the registered-factory-name
+	// pattern above), so every flat config's key is unchanged and
+	// pre-topology journals keep satisfying flat sweeps.
+	if topo := cfg.Topology; topo != nil {
+		w.str("topology")
+		w.i(topo.Sockets)
+		w.i(topo.CoresPerSocket)
+		w.u64(uint64(topo.CrossSocketIPI))
+		w.u64(uint64(topo.RemoteWalkExtra))
+		w.u64(uint64(topo.ReplicaSync))
+		w.u64(uint64(topo.MigrateCost))
+		w.i(topo.MigrateThreshold)
+	}
+
 	return fmt.Sprintf("%016x", w.h.Sum64()), nil
 }
 

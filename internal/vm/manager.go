@@ -79,6 +79,14 @@ type Config struct {
 	// hard-partitioned eviction pressure, and per-tenant counters on
 	// the run. Requires 4 kB pages without adaptive sizing.
 	Tenants *TenantConfig
+	// Topology, when non-nil and multi-socket, replaces the flat
+	// single-ring IPI model with per-socket rings joined by an
+	// interconnect, adds per-domain walk costs (the regular shared
+	// table is homed on socket 0; PSPT gains numaPTE-style per-socket
+	// replicas with consult-driven migration), and enables the
+	// cross-socket shootdown accounting. Nil or single-socket keeps
+	// every cost and counter bit-identical to the flat model.
+	Topology *sim.Topology
 }
 
 // PolicyFactory builds the replacement policy against the kernel-side
@@ -120,6 +128,8 @@ type Manager struct {
 	degraded map[sim.PageID]struct{} // pages on regular-table semantics after skew repair
 	allCores []sim.CoreID            // lazily built broadcast target list (degraded pages)
 
+	topo *sim.Topology // nil = flat single-ring model
+
 	mt *tenantState // nil = single-tenant machine
 }
 
@@ -151,6 +161,10 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		debt:    sc.Cycles(cfg.Cores),
 		rec:     cfg.Probe,
 		inj:     cfg.Faults,
+		topo:    cfg.Topology,
+	}
+	if err := cfg.Topology.Validate(cfg.Cores); err != nil {
+		return nil, err
 	}
 	if cfg.Hist {
 		m.hs = m.run.EnableHists()
@@ -159,7 +173,9 @@ func NewManager(cfg Config, factory PolicyFactory) (*Manager, error) {
 		m.rebuildCount = sc.U64(cfg.Cores)
 	}
 	if cfg.Tables == PSPTKind {
-		m.as = newPSPTAS(cfg.Cores, cfg.Pages, sc)
+		a := newPSPTAS(cfg.Cores, cfg.Pages, sc)
+		a.PSPT().SetTopology(cfg.Topology)
+		m.as = a
 	} else {
 		m.as = newSharedAS(cfg.Cores, cfg.Pages, sc)
 	}
@@ -217,6 +233,21 @@ func (m *Manager) SharingHistogram() ([]int, bool) {
 
 // Cores returns the number of application cores.
 func (m *Manager) Cores() int { return m.cfg.Cores }
+
+// Topology returns the machine topology (nil on flat runs).
+func (m *Manager) Topology() *sim.Topology { return m.topo }
+
+// walkExtra returns the per-domain surcharge of a page-table walk by
+// core. Only the regular shared table pays it: that table is homed on
+// socket 0, so walks from any other socket cross the interconnect.
+// PSPT walks always hit the core's own (socket-local) private table —
+// the structural advantage this PR quantifies against numaPTE.
+func (m *Manager) walkExtra(core sim.CoreID) sim.Cycles {
+	if !m.topo.Multi() || m.cfg.Tables == PSPTKind || m.topo.SocketOf(core) == 0 {
+		return 0
+	}
+	return m.topo.RemoteWalkExtra
+}
 
 // TLBFor exposes core's TLB for read-only inspection (the invariant
 // auditor cross-checks cached translations against the page tables).
@@ -450,6 +481,10 @@ func (m *Manager) Access(core sim.CoreID, vpn sim.PageID, write bool, now sim.Cy
 		m.run.Add(core, stats.DTLBMisses, 1)
 		m.run.Add(core, stats.PageWalks, 1)
 		t += m.cost.PageWalk
+		if we := m.walkExtra(core); we > 0 {
+			t += we
+			m.run.Add(core, stats.RemoteWalks, 1)
+		}
 		if _, size, ok := m.as.Lookup(core, vpn); ok {
 			m.tlbs[core].Insert(vpn, size)
 		} else {
@@ -522,13 +557,36 @@ func (m *Manager) faultService(core sim.CoreID, vpn sim.PageID, t sim.Cycles) (s
 	}
 
 	// PSPT minor fault: some sibling core already maps the page; copy
-	// its PTE under the per-page lock.
+	// its PTE under the per-page lock. On a multi-socket topology the
+	// consult first runs the numaPTE replica protocol: a consult from a
+	// socket with no replica crosses the interconnect (RemoteWalkExtra),
+	// materializes a local replica, and a streak of remote consults
+	// re-homes the page-table page (MigrateCost). Recorded before
+	// ResolveSibling copies the PTE, which would add this socket to the
+	// replica set and hide the crossing.
+	var remoteConsult, ptMigrated bool
+	if m.topo.Multi() {
+		if a, isPSPT := m.as.(*psptAS); isPSPT {
+			remoteConsult, ptMigrated = a.PSPT().NoteConsult(vpn, m.topo.SocketOf(core), m.topo.MigrateThreshold)
+		}
+	}
 	if base, ok := m.as.ResolveSibling(core, vpn, pagetable.Writable); ok {
 		m.run.Add(core, stats.MinorFaults, 1)
 		if m.mt != nil {
 			m.mt.ts.Add(m.mt.tenantOf(vpn), stats.TenantMinorFaults, 1)
 		}
 		t += m.cost.PSPTConsult
+		if remoteConsult {
+			t += m.topo.RemoteWalkExtra
+			m.run.Add(core, stats.RemotePTConsults, 1)
+		}
+		if ptMigrated {
+			t += m.topo.MigrateCost
+			m.run.Add(core, stats.PTMigrations, 1)
+			if m.rec != nil {
+				m.rec.Emit(t, core, obs.EvPTMigration, vpn, int64(m.topo.SocketOf(core)))
+			}
+		}
 		t = m.acquirePageLock(core, base, t)
 		if m.rec != nil {
 			m.rec.Emit(t, core, obs.EvMinorFault, base, 0)
@@ -858,6 +916,12 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 
 	var work sim.Cycles
 	remote := 0
+	multi := m.topo.Multi()
+	var remoteSockets pspt.SocketSet
+	initSocket := 0
+	if multi {
+		initSocket = m.topo.SocketOf(core)
+	}
 	for _, tc := range targets {
 		if m.invalObs != nil {
 			m.invalObs(tc, base)
@@ -874,7 +938,19 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 		// the initiating core more. rtt accumulates this target's full
 		// ack round trip — delivery plus any timeout+re-send cycles —
 		// which is what the shootdown-RTT histogram records.
-		rtt := m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
+		//
+		// Ring size: m.cfg.Cores counts the booked application cores
+		// only. The statistics scanner is a hyperthread sharing a booked
+		// core's ring stop (the paper dedicates hyperthreads, not
+		// cores), so it adds no stop of its own and the active-core ring
+		// size is the correct wrap modulus; see DESIGN.md §16.
+		rtt := m.cost.IPIDeliveryCostOn(m.topo, core, tc, m.cfg.Cores)
+		if multi {
+			if s := m.topo.SocketOf(tc); s != initSocket {
+				m.run.Add(core, stats.CrossSocketIPIs, 1)
+				remoteSockets.Add(s)
+			}
+		}
 		if m.inj != nil {
 			// Dropped acknowledgement: the initiator waits out the ack
 			// timeout and re-sends the IPI (the loss is modelled before
@@ -884,7 +960,7 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 			resent := 0
 			for resent < m.inj.MaxRetries() && m.inj.Trip(fault.DropAck) {
 				resent++
-				rtt += m.cost.AckTimeout + m.cost.IPIDeliveryCost(core, tc, m.cfg.Cores)
+				rtt += m.cost.AckTimeout + m.cost.IPIDeliveryCostOn(m.topo, core, tc, m.cfg.Cores)
 			}
 			if resent > 0 {
 				m.run.Add(core, stats.FaultsInjected, uint64(resent))
@@ -900,6 +976,29 @@ func (m *Manager) evict(core sim.CoreID, vbase sim.PageID) (sim.Cycles, int64, e
 			m.hs.Record(stats.ShootdownHist, uint64(rtt))
 		}
 		remote++
+	}
+	if multi {
+		// Shootdown filtering: cores the precise PSPT target set let the
+		// initiator skip, relative to the full broadcast regular tables
+		// must issue (for which this is always zero — the comparison the
+		// NUMA experiment journals).
+		if filtered := m.cfg.Cores - len(targets); filtered > 0 {
+			m.run.Add(core, stats.FilteredShootdowns, uint64(filtered))
+		}
+		if rs := remoteSockets.Count(); rs > 0 {
+			if _, isPSPT := m.as.(*psptAS); isPSPT {
+				// PTE teardown synchronizes every remote page-table
+				// replica across the interconnect (numaPTE's update cost).
+				work += sim.Cycles(rs) * m.topo.ReplicaSync
+				m.run.Add(core, stats.ReplicaSyncs, uint64(rs))
+				if m.rec != nil {
+					m.rec.EmitNow(core, obs.EvReplicaSync, base, int64(rs))
+				}
+			}
+			if m.hs != nil {
+				m.hs.Record(stats.CrossSocketFanoutHist, uint64(rs))
+			}
+		}
 	}
 	if remote > 0 {
 		m.run.Add(core, stats.IPIsSent, uint64(remote))
